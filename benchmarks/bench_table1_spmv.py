@@ -1,0 +1,29 @@
+"""Table 1: sequential SpMV across matrices × storage formats.
+
+Paper claim reproduced: there is no single best format — the winner is
+determined by matrix structure (Diagonal/ITPACK on regular grids, CRS on
+irregular/row-skewed matrices, BS95 on multi-dof FEM structure).
+
+Each benchmark measures one y = A·x through the compiled kernel (library
+matvec for BS95).  ``harness.py table1`` prints the full paper-style grid.
+"""
+
+import pytest
+
+from paperbench import TABLE1_FORMATS, TABLE1_NAMES, spmv_closure
+from repro.matrices import table1_matrix
+
+_MATRICES = {name: table1_matrix(name) for name in TABLE1_NAMES}
+
+
+@pytest.mark.parametrize("fmt", TABLE1_FORMATS)
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_table1_spmv(benchmark, name, fmt):
+    coo = _MATRICES[name]
+    fn, flops = spmv_closure(fmt, coo)
+    benchmark.extra_info["matrix"] = name
+    benchmark.extra_info["format"] = fmt
+    benchmark.extra_info["nnz"] = coo.nnz
+    benchmark.pedantic(fn, rounds=5, iterations=3, warmup_rounds=1)
+    # MFlop/s for the report
+    benchmark.extra_info["mflops"] = flops / benchmark.stats.stats.min / 1e6

@@ -1,0 +1,16 @@
+"""pytest-benchmark configuration for the paper-reproduction benches.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Workload sizes scale with the ``REPRO_BENCH_SCALE`` environment variable
+(default 1.0; the harness uses larger settings for the EXPERIMENTS.md
+tables).
+"""
+
+import sys
+from pathlib import Path
+
+# make `import paperbench` work when pytest is launched from the repo root
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: compile the paper's SpMV loop against three storage formats.
+
+The Bernoulli compiler takes a *dense* DOANY loop nest plus per-array
+storage formats and generates efficient sparse code.  Run::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    DenseVector,
+    compile_kernel,
+)
+
+# the paper's running example (Sec. 2): y = A x
+SPMV = "for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }"
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n = 2000
+    coo = COOMatrix.random(n, n, density=0.005, rng=rng)
+    x = rng.standard_normal(n)
+    print(f"matrix: {n}x{n}, {coo.nnz} nonzeros\n")
+
+    reference = None
+    for fmt in (CRSMatrix, CCSMatrix, COOMatrix):
+        A = fmt.from_coo(coo)
+        X = DenseVector(x)
+        Y = DenseVector.zeros(n)
+        kernel = compile_kernel(SPMV, formats={"A": A, "X": X, "Y": Y})
+        kernel(A=A, X=X, Y=Y)
+
+        print(f"--- {fmt.__name__}: what the compiler generated ---")
+        print(kernel.source)
+        if reference is None:
+            reference = Y.vals.copy()
+        else:
+            assert np.allclose(Y.vals, reference), "formats disagree!"
+
+    print("all formats agree; ||y|| =", np.linalg.norm(reference))
+
+    # the same compiler output, explained: per-statement access plans
+    A = CRSMatrix.from_coo(coo)
+    kernel = compile_kernel(SPMV, formats={"A": A, "X": DenseVector(x), "Y": DenseVector.zeros(n)})
+    print("--- the plan the optimizer chose for CRS ---")
+    print(kernel.describe_plans())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (this environment is offline; PEP-517 editable builds need wheel)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,144 @@
+"""repro — a reproduction of the Bernoulli sparse compiler.
+
+"Compiling Parallel Code for Sparse Matrix Applications"
+(Kotlyar, Pingali, Stodghill — Cornell, SC 1997).
+
+The library compiles dense DOANY loop nests plus storage-format
+specifications into efficient sparse code (sequential and SPMD parallel),
+by modelling arrays as relations and loop execution as relational query
+evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import compile_kernel, CRSMatrix, COOMatrix, DenseVector
+
+    A = CRSMatrix.from_coo(COOMatrix.random(1000, 1000, 0.01, rng=0))
+    x = DenseVector(np.ones(1000))
+    y = DenseVector.zeros(1000)
+    k = compile_kernel(
+        "for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }",
+        formats={"A": A, "X": x, "Y": y},
+    )
+    k(A=A, X=x, Y=y)        # y += A @ x, through generated code
+    print(k.source)          # inspect what the compiler emitted
+
+See README.md for the architecture and DESIGN.md / EXPERIMENTS.md for the
+paper-reproduction map.
+"""
+
+from repro.compiler import CompiledKernel, compile_kernel, parse
+from repro.formats import (
+    BlockDiagonalMatrix,
+    BlockSolveMatrix,
+    CCCSMatrix,
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    DenseMatrix,
+    DenseVector,
+    DiagonalMatrix,
+    ELLMatrix,
+    Format,
+    InodeMatrix,
+    JaggedDiagonalMatrix,
+    Permutation,
+    PermutedMatrix,
+    SparseVector,
+    TranslatedVector,
+    FORMAT_NAMES,
+    matrix_format_by_name,
+)
+from repro.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    Distribution,
+    GeneralizedBlockDistribution,
+    IndirectDistribution,
+    MultiBlockDistribution,
+)
+from repro.kernels import spmm, spmv, spmv_transpose
+from repro.matrices import (
+    TABLE1_MATRICES,
+    fem_matrix,
+    grid_laplacian,
+    read_matrix_market,
+    stencil_matrix,
+    table1_matrix,
+    write_matrix_market,
+)
+from repro.runtime import CommModel, Machine
+from repro.solvers import (
+    CGResult,
+    cg,
+    ilu0,
+    ilu_preconditioned_cg,
+    jacobi,
+    parallel_cg,
+    power_iteration,
+    solve_lower,
+    solve_upper,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # compiler
+    "compile_kernel",
+    "CompiledKernel",
+    "parse",
+    # formats
+    "Format",
+    "COOMatrix",
+    "CRSMatrix",
+    "CCSMatrix",
+    "CCCSMatrix",
+    "ELLMatrix",
+    "DiagonalMatrix",
+    "JaggedDiagonalMatrix",
+    "DenseMatrix",
+    "DenseVector",
+    "SparseVector",
+    "InodeMatrix",
+    "BlockDiagonalMatrix",
+    "BlockSolveMatrix",
+    "Permutation",
+    "PermutedMatrix",
+    "TranslatedVector",
+    "FORMAT_NAMES",
+    "matrix_format_by_name",
+    # distributions
+    "Distribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "GeneralizedBlockDistribution",
+    "IndirectDistribution",
+    "MultiBlockDistribution",
+    # kernels
+    "spmv",
+    "spmv_transpose",
+    "spmm",
+    # workloads
+    "grid_laplacian",
+    "stencil_matrix",
+    "fem_matrix",
+    "table1_matrix",
+    "TABLE1_MATRICES",
+    "read_matrix_market",
+    "write_matrix_market",
+    # runtime + solvers
+    "Machine",
+    "CommModel",
+    "cg",
+    "parallel_cg",
+    "CGResult",
+    "jacobi",
+    "power_iteration",
+    "ilu0",
+    "solve_lower",
+    "solve_upper",
+    "ilu_preconditioned_cg",
+]

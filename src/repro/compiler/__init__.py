@@ -1,0 +1,60 @@
+"""The Bernoulli compiler core (paper Sections 2 and 3).
+
+Pipeline:
+
+1. :mod:`~repro.compiler.parser` — parse a dense DOANY loop nest written in
+   a small textual language (``for i in 0:n { ... }``) into the AST of
+   :mod:`~repro.compiler.ast_nodes`.
+2. :mod:`~repro.compiler.sparsity` — Bik–Wijshoff zero-propagation derives
+   the sparsity predicate of each statement (paper Eq. 3) and splits
+   additive statements so every piece has a purely conjunctive predicate.
+3. :mod:`~repro.compiler.query_extract` — each statement becomes a
+   relational query (paper Eq. 4): iteration relation ⋈ one term per array
+   reference, selected by the predicate.
+4. :mod:`~repro.compiler.scheduling` — the query optimizer: pick the
+   *driver* relation that enumerates its stored entries and the access
+   mode (dense lookup / sparse search) for every other term, using the
+   access-method properties and a cost model.
+5. :mod:`~repro.compiler.codegen` — emit Python source for the chosen
+   plan (scalar loops, plus a vectorizing pass that turns the innermost
+   enumeration into numpy slice/gather operations), compile it, and wrap
+   it in a :class:`~repro.compiler.kernels.CompiledKernel`.
+
+Everything is format-agnostic: the planner and code generator speak only
+the access-method protocol of :mod:`repro.formats.base`, so user-defined
+formats compile without compiler changes (``examples/custom_format.py``).
+"""
+
+from repro.compiler.ast_nodes import (
+    Assign,
+    BinOp,
+    LoopSpec,
+    Num,
+    Program,
+    Ref,
+    Scalar,
+)
+from repro.compiler.parser import parse
+from repro.compiler.sparsity import sparsity_predicate, split_statement
+from repro.compiler.query_extract import extract_query
+from repro.compiler.scheduling import plan_query, Plan, TermAccess
+from repro.compiler.kernels import CompiledKernel, compile_kernel
+
+__all__ = [
+    "parse",
+    "Program",
+    "LoopSpec",
+    "Assign",
+    "Ref",
+    "Scalar",
+    "Num",
+    "BinOp",
+    "sparsity_predicate",
+    "split_statement",
+    "extract_query",
+    "plan_query",
+    "Plan",
+    "TermAccess",
+    "CompiledKernel",
+    "compile_kernel",
+]

@@ -1,0 +1,232 @@
+"""AST of the dense-loop mini-language.
+
+The input language is deliberately tiny: perfectly nested DOANY loops over
+half-open dense ranges, whose body is one or more assignment/reduction
+statements over scalar-indexed array references, e.g.::
+
+    for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }
+
+All nodes are immutable and hashable (they key the kernel cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Scalar",
+    "Ref",
+    "BinOp",
+    "Neg",
+    "Stmt",
+    "Assign",
+    "LoopSpec",
+    "Program",
+    "normalize_statement",
+]
+
+
+class Expr:
+    """Base class of expressions."""
+
+    def refs(self) -> tuple["Ref", ...]:
+        """All array references, left to right, duplicates preserved."""
+        raise NotImplementedError
+
+    def scalars(self) -> frozenset[str]:
+        """Names of free scalar variables."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def refs(self):
+        return ()
+
+    def scalars(self):
+        return frozenset()
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Scalar(Expr):
+    """A free scalar variable (bound at kernel-call time)."""
+
+    name: str
+
+    def refs(self):
+        return ()
+
+    def scalars(self):
+        return frozenset({self.name})
+
+    def __repr__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """An array reference ``A[i, j]`` — indices are loop-variable names."""
+
+    array: str
+    indices: tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "indices", tuple(self.indices))
+        if not self.indices:
+            raise ParseError(f"reference to {self.array} has no indices")
+
+    def refs(self):
+        return (self,)
+
+    def scalars(self):
+        return frozenset()
+
+    def __repr__(self):
+        return f"{self.array}[{','.join(self.indices)}]"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic: op ∈ {'+', '-', '*', '/'}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in ("+", "-", "*", "/"):
+            raise ParseError(f"unknown operator {self.op!r}")
+
+    def refs(self):
+        return self.left.refs() + self.right.refs()
+
+    def scalars(self):
+        return self.left.scalars() | self.right.scalars()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary minus."""
+
+    operand: Expr
+
+    def refs(self):
+        return self.operand.refs()
+
+    def scalars(self):
+        return self.operand.scalars()
+
+    def __repr__(self):
+        return f"(-{self.operand!r})"
+
+
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = expr`` (``reduce=False``) or ``target += expr``.
+
+    Plain assignment with a sparse right-hand side is compiled as
+    "zero-fill then guarded accumulate", which requires that the RHS does
+    not read the target array (checked by :func:`normalize_statement`).
+    """
+
+    target: Ref
+    expr: Expr
+    reduce: bool = False
+
+    def __repr__(self):
+        op = "+=" if self.reduce else "="
+        return f"{self.target!r} {op} {self.expr!r}"
+
+
+@dataclass(frozen=True)
+class LoopSpec(Stmt):
+    """``for var in lo:hi`` — bounds are integers or scalar names."""
+
+    var: str
+    lo: str = "0"
+    hi: str = "n"
+
+    def __repr__(self):
+        return f"for {self.var} in {self.lo}:{self.hi}"
+
+
+@dataclass(frozen=True)
+class Program(Stmt):
+    """A perfect loop nest over one or more statements."""
+
+    loops: tuple[LoopSpec, ...]
+    body: tuple[Assign, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "loops", tuple(self.loops))
+        object.__setattr__(self, "body", tuple(self.body))
+        names = [l.var for l in self.loops]
+        if len(set(names)) != len(names):
+            raise ParseError(f"duplicate loop variables {names}")
+        bound = set(names)
+        for stmt in self.body:
+            for ref in (stmt.target,) + stmt.expr.refs():
+                for ix in ref.indices:
+                    if ix not in bound:
+                        raise ParseError(
+                            f"index {ix!r} in {ref!r} is not a loop variable"
+                        )
+
+    def arrays(self) -> frozenset[str]:
+        out: set[str] = set()
+        for stmt in self.body:
+            out.add(stmt.target.array)
+            out.update(r.array for r in stmt.expr.refs())
+        return frozenset(out)
+
+    def scalar_names(self) -> frozenset[str]:
+        out: set[str] = set()
+        for stmt in self.body:
+            out |= stmt.expr.scalars()
+        for l in self.loops:
+            for b in (l.lo, l.hi):
+                if not b.lstrip("-").isdigit():
+                    out.add(b)
+        return frozenset(out)
+
+    def __repr__(self):
+        loops = " ".join(f"for {l.var} in {l.lo}:{l.hi}" for l in self.loops)
+        return f"{loops} {{ {'; '.join(map(repr, self.body))} }}"
+
+
+def normalize_statement(stmt: Assign) -> Assign:
+    """Rewrite ``Y[i] = Y[i] + e`` (or ``e + Y[i]``) into ``Y[i] += e``.
+
+    Raises :class:`ParseError` for a plain assignment whose RHS still reads
+    the target after normalization (zero-fill compilation would be wrong).
+    """
+    if not stmt.reduce and isinstance(stmt.expr, BinOp) and stmt.expr.op == "+":
+        if stmt.expr.left == stmt.target:
+            stmt = Assign(stmt.target, stmt.expr.right, reduce=True)
+        elif stmt.expr.right == stmt.target:
+            stmt = Assign(stmt.target, stmt.expr.left, reduce=True)
+    if not stmt.reduce:
+        if any(r.array == stmt.target.array for r in stmt.expr.refs()):
+            raise ParseError(
+                f"plain assignment to {stmt.target.array} reads the target; "
+                "write it as a reduction (+=) instead"
+            )
+    return stmt

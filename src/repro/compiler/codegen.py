@@ -1,0 +1,689 @@
+"""Python code generation from access plans.
+
+Two backends share the plan walk:
+
+* **scalar** — nested Python loops following the plan's steps exactly;
+  the semantic reference and the fallback for plans whose innermost step
+  is a search (no contiguous view to vectorize over).
+* **vectorized** — when the innermost step is an unguarded enumeration
+  whose format exposes a contiguous :meth:`inner_vector_view`, the loop
+  is replaced by numpy slice/gather/scatter operations (``np.dot`` for
+  reductions, slice ``+=`` for affine scatters, ``np.add.at`` for gather
+  scatters).  This plays the role of the paper's generated C code: it
+  exploits exactly the contiguity the formats were designed to expose.
+
+Generated functions take the formats' flat storage arrays (``A_rowptr``,
+``X_vals``, ...) plus free scalars as keyword parameters and mutate the
+output storage in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Num, Program, Ref, Scalar
+from repro.compiler.scheduling import Plan, Step
+from repro.errors import CompileError
+from repro.formats.base import Emitter, Format
+
+__all__ = ["generate_source", "KernelUnit"]
+
+
+@dataclass(frozen=True)
+class KernelUnit:
+    """One statement with its plan (the compiler emits one nest per unit)."""
+
+    stmt: Assign
+    plan: Plan
+
+
+def _bound_expr(sym: str) -> str:
+    """A loop-bound symbol as a code expression (numeral or scalar param)."""
+    return sym
+
+
+class _NestState:
+    """Mutable walk state while emitting one loop nest."""
+
+    def __init__(self):
+        self.parent_pos: dict[str, str | None] = {}
+        self.final_pos: dict[str, str] = {}
+        self.depth_opened = 0
+
+
+def _emit_steps(
+    g: Emitter,
+    program: Program,
+    plan: Plan,
+    formats: dict[str, Format],
+    steps: tuple[Step, ...],
+) -> _NestState:
+    """Emit the nested access structure for ``steps``; returns walk state."""
+    st = _NestState()
+    loopspec = {l.var: l for l in program.loops}
+    base_depth = g.depth
+    # merge steps reset their cursor just before their anchor loop opens
+    merge_by_anchor: dict[int, list[int]] = {}
+    for k, step in enumerate(steps):
+        if step.kind == "merge":
+            merge_by_anchor.setdefault(step.anchor, []).append(k)
+    cursors: dict[int, str] = {}
+    for k, step in enumerate(steps):
+        for mk in merge_by_anchor.get(k, ()):
+            cur = g.fresh(f"cur_{steps[mk].term}")
+            cursors[mk] = cur
+            g.emit(f"{cur} = 0")
+        if step.kind == "dense":
+            spec = loopspec[step.var]
+            g.open(
+                f"for {step.var} in range({_bound_expr(spec.lo)}, {_bound_expr(spec.hi)}):"
+            )
+        elif step.kind == "merge":
+            fmt = formats[step.term]
+            level = fmt.levels()[step.level_index]
+            pos = level.emit_merge(
+                g, step.term, st.parent_pos.get(step.term), step.key, cursors[k]
+            )
+            st.parent_pos[step.term] = pos
+            st.final_pos[step.term] = pos
+        else:
+            fmt = formats[step.term]
+            level = fmt.levels()[step.level_index]
+            term = plan.query.term_for(step.term)
+            avm = {a: v for a, v in enumerate(term.indices)}
+            parent = st.parent_pos.get(step.term)
+            if step.kind == "enumerate":
+                axis_vars: dict[int, str] = {}
+                guard_pairs: list[tuple[str, str]] = []
+                for a in level.binds:
+                    if a not in avm:
+                        continue
+                    v = avm[a]
+                    if v in step.guards:
+                        tmp = g.fresh(f"g_{v}")
+                        axis_vars[a] = tmp
+                        guard_pairs.append((tmp, v))
+                    else:
+                        axis_vars[a] = v
+                pos = level.emit_enumerate(g, step.term, parent, axis_vars)
+                for tmp, v in guard_pairs:
+                    g.open(f"if {tmp} != {v}:")
+                    g.emit("continue")
+                    g.close()
+            else:  # search
+                axis_exprs = {a: avm[a] for a in level.binds if a in avm}
+                pos = level.emit_search(g, step.term, parent, axis_exprs)
+            st.parent_pos[step.term] = pos
+            st.final_pos[step.term] = pos
+    st.depth_opened = g.depth - base_depth
+    return st
+
+
+# ----------------------------------------------------------------------
+# scalar expression emission
+# ----------------------------------------------------------------------
+def _emit_expr_scalar(
+    g: Emitter,
+    expr: Expr,
+    formats: dict[str, Format],
+    plan: Plan,
+    st: _NestState,
+) -> str:
+    if isinstance(expr, Num):
+        return repr(expr.value)
+    if isinstance(expr, Scalar):
+        return expr.name
+    if isinstance(expr, Neg):
+        return f"(-{_emit_expr_scalar(g, expr.operand, formats, plan, st)})"
+    if isinstance(expr, BinOp):
+        l = _emit_expr_scalar(g, expr.left, formats, plan, st)
+        r = _emit_expr_scalar(g, expr.right, formats, plan, st)
+        return f"({l} {expr.op} {r})"
+    if isinstance(expr, Ref):
+        fmt = formats[expr.array]
+        avm = {a: v for a, v in enumerate(expr.indices)}
+        pos = st.final_pos.get(expr.array)
+        return fmt.emit_load(g, expr.array, avm, pos)
+    raise CompileError(f"cannot emit expression {expr!r}")
+
+
+def _emit_scalar_nest(
+    g: Emitter, program: Program, unit: KernelUnit, formats: dict[str, Format]
+) -> None:
+    plan, stmt = unit.plan, unit.stmt
+    st = _emit_steps(g, program, plan, formats, plan.steps)
+    value = _emit_expr_scalar(g, stmt.expr, formats, plan, st)
+    out_fmt = formats[stmt.target.array]
+    avm = {a: v for a, v in enumerate(stmt.target.indices)}
+    out_fmt.emit_accumulate(g, stmt.target.array, avm, None, value)
+    g.close(st.depth_opened)
+
+
+# ----------------------------------------------------------------------
+# vectorized backend
+# ----------------------------------------------------------------------
+def _multiplicative_factors(expr: Expr):
+    """Flatten a product/quotient chain into (sign, [(op, factor), ...]);
+    op is '*' or '/'.  Returns None if the expression is not such a chain."""
+    sign = 1.0
+    factors: list[tuple[str, Expr]] = []
+
+    def walk(e: Expr, op: str) -> bool:
+        nonlocal sign
+        if isinstance(e, Neg):
+            sign = -sign
+            return walk(e.operand, op)
+        if isinstance(e, BinOp) and e.op in ("*", "/"):
+            if op == "/":
+                # (a / (b*c)) — keep whole right side as one denominator
+                factors.append((op, e))
+                return True
+            return walk(e.left, op) and walk(e.right, e.op)
+        if isinstance(e, (Num, Scalar, Ref)):
+            factors.append((op, e))
+            return True
+        return False
+
+    ok = walk(expr, "*")
+    return (sign, factors) if ok else None
+
+
+def _vectorizable(unit: KernelUnit, formats: dict[str, Format]) -> bool:
+    plan, stmt = unit.plan, unit.stmt
+    if plan.noop or not plan.steps:
+        return False
+    last = plan.steps[-1]
+    if last.guards:
+        return False
+    if last.kind not in ("enumerate", "dense"):
+        return False
+    if last.kind == "enumerate":
+        fmt = formats[last.term]
+        if last.level_index != len(fmt.levels()) - 1:
+            return False
+        if fmt.inner_vector_view(last.term, "0") is None:
+            return False
+    mf = _multiplicative_factors(stmt.expr)
+    if mf is None:
+        return False
+    if any(isinstance(f, BinOp) for _, f in mf[1]):
+        return False  # composite denominator: leave scalar
+    # every ref must only use outer vars or vars bound by the last step
+    inner = set(last.binds)
+    outer: set[str] = set()
+    for s in plan.steps[:-1]:
+        outer.update(s.binds)
+    for ref in (stmt.target,) + stmt.expr.refs():
+        for v in ref.indices:
+            if v not in inner and v not in outer:
+                return False
+        # a ref reading the array being driven must BE the driver ref
+        if ref.array == last.term and last.kind == "enumerate":
+            term = plan.query.term_for(last.term)
+            if ref.indices != term.indices:
+                return False
+    return True
+
+
+def _emit_vector_nest(
+    g: Emitter, program: Program, unit: KernelUnit, formats: dict[str, Format]
+) -> None:
+    plan, stmt = unit.plan, unit.stmt
+    last = plan.steps[-1]
+    st = _emit_steps(g, program, plan, formats, plan.steps[:-1])
+
+    s_var, e_var = g.fresh("s"), g.fresh("e")
+    # var -> (kind, payload, unique): kind "affine"|"gather"; unique means
+    # the index values never repeat within the slice (safe for fancy `+=`)
+    vec_map: dict[str, tuple[str, str, bool]] = {}
+    driver_vals: str | None = None
+    if last.kind == "dense":
+        spec = {l.var: l for l in program.loops}[last.var]
+        g.emit(f"{s_var} = {_bound_expr(spec.lo)}")
+        g.emit(f"{e_var} = {_bound_expr(spec.hi)}")
+        vec_map[last.var] = ("affine", s_var, True)
+    else:
+        fmt = formats[last.term]
+        term = plan.query.term_for(last.term)
+        parent = st.parent_pos.get(last.term)
+        view = fmt.inner_vector_view(last.term, parent)
+        if view is None:
+            raise CompileError("vectorizer: view vanished at emit time")
+        lo, hi = view["slice"]
+        g.emit(f"{s_var} = {lo}")
+        g.emit(f"{e_var} = {hi}")
+        avm = {a: v for a, v in enumerate(term.indices)}
+        unique_axes = view.get("unique_axes", frozenset())
+        for a, desc in view["index"].items():
+            if a in avm:
+                kind, tpl = desc
+                vec_map[avm[a]] = (
+                    kind,
+                    tpl.format(s=s_var, e=e_var) if kind == "gather" else tpl,
+                    kind == "affine" or a in unique_axes,
+                )
+        driver_vals = view["vals"].format(s=s_var, e=e_var)
+
+    def ref_expr(ref: Ref) -> tuple[str, bool]:
+        """(code, is_vector) for a reference under the vector map."""
+        if last.kind == "enumerate" and ref.array == last.term:
+            return driver_vals, True
+        fmt = formats[ref.array]
+        idx_exprs: dict[int, str] = {}
+        vec = False
+        for a, v in enumerate(ref.indices):
+            if v in vec_map:
+                kind, payload, _unique = vec_map[v]
+                idx_exprs[a] = (kind, payload)
+                vec = True
+            else:
+                idx_exprs[a] = ("scalar", v)
+        if not vec:
+            tmp = Emitter()
+            return fmt.emit_load(tmp, ref.array, {a: v for a, v in enumerate(ref.indices)}, st.final_pos.get(ref.array)), False
+        # build a numpy indexing expression through the format's own hook
+        parts = []
+        for a in range(len(ref.indices)):
+            kind, payload = idx_exprs[a]
+            if kind == "scalar":
+                parts.append(payload)
+            elif kind == "affine":
+                parts.append(f"{payload}:{payload} + ({e_var} - {s_var})")
+            else:
+                parts.append(payload)
+        return fmt.emit_load_vec(ref.array, parts), True
+
+    sign, factors = _multiplicative_factors(stmt.expr)
+    scalar_parts: list[tuple[str, str]] = []
+    vector_parts: list[tuple[str, str]] = []
+    for op, f in factors:
+        if isinstance(f, Num):
+            scalar_parts.append((op, repr(f.value)))
+        elif isinstance(f, Scalar):
+            scalar_parts.append((op, f.name))
+        else:
+            assert isinstance(f, (Ref, BinOp))
+            if isinstance(f, BinOp):
+                raise CompileError("vectorizer: nested denominator unsupported")
+            code, is_vec = ref_expr(f)
+            (vector_parts if is_vec else scalar_parts).append((op, code))
+    if sign < 0:
+        scalar_parts.insert(0, ("*", "-1.0"))
+
+    def chain(parts: list[tuple[str, str]], seed: str | None = None) -> str:
+        out = seed
+        for op, code in parts:
+            if out is None:
+                out = code if op == "*" else f"(1.0 {op} {code})"
+            else:
+                out = f"({out} {op} {code})"
+        return out or "1.0"
+
+    target = stmt.target
+    tgt_vec_axes = [v for v in target.indices if v in vec_map]
+    out_name = f"{target.array}_vals"
+
+    if not tgt_vec_axes:
+        # full reduction over the vector axis into a scalar target slot
+        mults = [c for op, c in vector_parts if op == "*"]
+        divs = [c for op, c in vector_parts if op == "/"]
+        if len(mults) == 2 and not divs:
+            contrib = f"np.dot({mults[0]}, {mults[1]})"
+        elif len(mults) == 1 and not divs:
+            contrib = f"np.sum({mults[0]})"
+        else:
+            contrib = f"np.sum({chain(vector_parts)})"
+        scal = chain(scalar_parts) if scalar_parts else None
+        value = contrib if scal is None else f"({scal}) * {contrib}"
+        tgt_idx = ", ".join(target.indices)
+        g.emit(f"{out_name}[{tgt_idx}] += {value}")
+    else:
+        contrib = chain(vector_parts, seed=None)
+        if scalar_parts:
+            contrib = f"({chain(scalar_parts)}) * {contrib}"
+        idx_parts: list[str] = []
+        gather = False
+        # fancy `+=` loses updates on duplicate targets; it is safe iff at
+        # least one vectorized target axis is duplicate-free in the slice
+        # (affine axes always are), since then the index tuples are distinct
+        safe_inplace = False
+        for v in target.indices:
+            if v in vec_map:
+                kind, payload, unique = vec_map[v]
+                if kind == "affine":
+                    idx_parts.append(f"{payload}:{payload} + ({e_var} - {s_var})")
+                    safe_inplace = True
+                else:
+                    idx_parts.append(payload)
+                    gather = True
+                    safe_inplace = safe_inplace or unique
+            else:
+                idx_parts.append(v)
+        if gather and not safe_inplace:
+            if len(idx_parts) == 1:
+                g.emit(f"np.add.at({out_name}, {idx_parts[0]}, {contrib})")
+            else:
+                g.emit(f"np.add.at({out_name}, ({', '.join(idx_parts)}), {contrib})")
+        else:
+            g.emit(f"{out_name}[{', '.join(idx_parts)}] += {contrib}")
+    g.close(st.depth_opened)
+
+
+# ----------------------------------------------------------------------
+# block-GEMV backend: collapse the driver's final (row, col) levels into
+# one dense matrix-vector product per block (i-nodes / clique blocks)
+# ----------------------------------------------------------------------
+def _block_plan_shape(unit: KernelUnit, formats: dict[str, Format]):
+    """If the last two steps enumerate the driver's final two levels (one
+    row var, one col var) and the format exposes a block view, return
+    (row_var, col_var); else None."""
+    plan = unit.plan
+    if plan.noop or len(plan.steps) < 2:
+        return None
+    s_row, s_col = plan.steps[-2], plan.steps[-1]
+    if not (
+        s_row.kind == "enumerate"
+        and s_col.kind == "enumerate"
+        and s_row.term == s_col.term == plan.driver
+        and not s_row.guards
+        and not s_col.guards
+        and len(s_row.binds) == 1
+        and len(s_col.binds) == 1
+    ):
+        return None
+    fmt = formats[plan.driver]
+    nlev = len(fmt.levels())
+    if s_row.level_index != nlev - 2 or s_col.level_index != nlev - 1:
+        return None
+    if fmt.inner_block_view(plan.driver, "0") is None:
+        return None
+    return s_row.binds[0], s_col.binds[0]
+
+
+def _block_vectorizable(unit: KernelUnit, formats: dict[str, Format]) -> bool:
+    shape = _block_plan_shape(unit, formats)
+    if shape is None:
+        return False
+    row_var, col_var = shape
+    stmt = unit.stmt
+    target = stmt.target
+    tfmt = formats[target.array]
+    if target.indices != (row_var,) or not tfmt.writable or tfmt.ndim != 1:
+        return False
+    mf = _multiplicative_factors(stmt.expr)
+    if mf is None:
+        return False
+    driver = unit.plan.driver
+    term = unit.plan.query.term_for(driver)
+    outer_vars = set()
+    for s in unit.plan.steps[:-2]:
+        outer_vars.update(s.binds)
+    for op, f in mf[1]:
+        if isinstance(f, BinOp):
+            return False
+        if isinstance(f, Ref):
+            if f.array == driver:
+                if f.indices != term.indices:
+                    return False
+                continue
+            rf = formats[f.array]
+            if not rf.structurally_dense or rf.ndim != 1:
+                return False
+            idx = set(f.indices)
+            if not (idx == {row_var} or idx == {col_var} or idx <= outer_vars):
+                return False
+    return True
+
+
+def _emit_block_nest(
+    g: Emitter, program: Program, unit: KernelUnit, formats: dict[str, Format]
+) -> None:
+    plan, stmt = unit.plan, unit.stmt
+    row_var, col_var = _block_plan_shape(unit, formats)
+    st = _emit_steps(g, program, plan, formats, plan.steps[:-2])
+    fmt = formats[plan.driver]
+    view = fmt.inner_block_view(plan.driver, st.parent_pos.get(plan.driver))
+
+    nr, nc = g.fresh("nr"), g.fresh("nc")
+    g.emit(f"{nr} = {view['nrows']}")
+    g.emit(f"{nc} = {view['ncols']}")
+    blk = g.fresh("B")
+    g.emit(f"{blk} = {view['vals']}.reshape({nr}, {nc})")
+
+    def idx_expr(desc, extent):
+        kind = desc[0]
+        if kind == "affine":
+            return f"{desc[1]} : {desc[1]} + {extent}"
+        return desc[1]
+
+    rows_idx = idx_expr(view["rows"], nr)
+    cols_idx = idx_expr(view["cols"], nc)
+
+    sign, factors = _multiplicative_factors(stmt.expr)
+    col_parts: list[tuple[str, str]] = []
+    row_parts: list[tuple[str, str]] = []
+    scalar_parts: list[tuple[str, str]] = []
+    for op, f in factors:
+        if isinstance(f, Num):
+            scalar_parts.append((op, repr(f.value)))
+        elif isinstance(f, Scalar):
+            scalar_parts.append((op, f.name))
+        elif f.array == plan.driver:
+            continue  # the block itself
+        elif set(f.indices) == {col_var}:
+            col_parts.append(
+                (op, formats[f.array].emit_load_vec(f.array, [cols_idx]))
+            )
+        elif set(f.indices) == {row_var}:
+            row_parts.append(
+                (op, formats[f.array].emit_load_vec(f.array, [rows_idx]))
+            )
+        else:  # outer-bound scalar load
+            tmp = Emitter()
+            code = formats[f.array].emit_load(
+                tmp, f.array, {a: v for a, v in enumerate(f.indices)}, None
+            )
+            scalar_parts.append((op, code))
+    if sign < 0:
+        scalar_parts.insert(0, ("*", "-1.0"))
+
+    def chain(parts, seed=None):
+        out = seed
+        for op, code in parts:
+            if out is None:
+                out = code if op == "*" else f"(1.0 {op} {code})"
+            else:
+                out = f"({out} {op} {code})"
+        return out
+
+    xg = chain(col_parts)
+    res = f"{blk} @ ({xg})" if xg else f"{blk}.sum(axis=1)"
+    pre = chain(row_parts)
+    if pre:
+        res = f"({pre}) * ({res})"
+    if scalar_parts:
+        res = f"({chain(scalar_parts)}) * ({res})"
+    out_name = f"{stmt.target.array}_vals"
+    if view["rows"][0] == "gather" and not view.get("unique_rows", False):
+        g.emit(f"np.add.at({out_name}, {rows_idx}, {res})")
+    else:
+        g.emit(f"{out_name}[{rows_idx}] += {res}")
+    g.close(st.depth_opened)
+
+
+# ----------------------------------------------------------------------
+# segmented-reduction backend: collapse a full two-level enumeration into
+# one flat product + one segmented reduction (np.add.reduceat / 2-D sum)
+# ----------------------------------------------------------------------
+def _segmented_plan_shape(unit: KernelUnit, formats: dict[str, Format]):
+    """If the plan is exactly 'driver outer level then driver inner level'
+    over a format with a segmented view, return (view, outer_var,
+    inner_vars); else None."""
+    plan, stmt = unit.plan, unit.stmt
+    if plan.noop or len(plan.steps) != 2:
+        return None
+    s0, s1 = plan.steps
+    if not (
+        s0.kind == "enumerate"
+        and s1.kind == "enumerate"
+        and s0.term == s1.term == plan.driver
+        and s0.level_index == 0
+        and s1.level_index == 1
+        and not s0.guards
+        and not s1.guards
+        and len(s0.binds) == 1
+    ):
+        return None
+    fmt = formats[s0.term]
+    view = fmt.segmented_view(s0.term)
+    if view is None:
+        return None
+    return view, s0.binds[0], set(s1.binds)
+
+
+def _segmented_vectorizable(unit: KernelUnit, formats: dict[str, Format]) -> bool:
+    shape = _segmented_plan_shape(unit, formats)
+    if shape is None:
+        return False
+    view, outer_var, inner_vars = shape
+    stmt = unit.stmt
+    # reduction into a dense vector indexed by the outer variable
+    target = stmt.target
+    tfmt = formats[target.array]
+    if target.indices != (outer_var,) or not tfmt.writable or tfmt.ndim != 1:
+        return False
+    mf = _multiplicative_factors(stmt.expr)
+    if mf is None:
+        return False
+    driver = unit.plan.driver
+    term = unit.plan.query.term_for(driver)
+    for op, f in mf[1]:
+        if isinstance(f, BinOp):
+            return False
+        if isinstance(f, Ref):
+            if f.array == driver:
+                if f.indices != term.indices:
+                    return False
+                continue
+            rf = formats[f.array]
+            if not rf.structurally_dense or rf.ndim != 1:
+                return False
+            idx = set(f.indices)
+            # either per-segment constant (outer var) or gathered (inner)
+            if not (idx == {outer_var} or idx <= inner_vars):
+                return False
+    return True
+
+
+def _emit_segmented_nest(
+    g: Emitter, program: Program, unit: KernelUnit, formats: dict[str, Format]
+) -> None:
+    view, outer_var, _inner = _segmented_plan_shape(unit, formats)
+    stmt = unit.stmt
+    driver = unit.plan.driver
+    term = unit.plan.query.term_for(driver)
+    avm = {a: v for a, v in enumerate(term.indices)}
+    # index gather expressions keyed by inner loop var
+    gather_of = {
+        avm[a]: expr for a, expr in view["index"].items() if a in avm
+    }
+    sign, factors = _multiplicative_factors(stmt.expr)
+    flat_parts: list[tuple[str, str]] = []  # per-entry factors
+    outer_parts: list[tuple[str, str]] = []  # per-segment factors
+    scalar_parts: list[tuple[str, str]] = []
+    for op, f in factors:
+        if isinstance(f, Num):
+            scalar_parts.append((op, repr(f.value)))
+        elif isinstance(f, Scalar):
+            scalar_parts.append((op, f.name))
+        elif f.array == driver:
+            flat_parts.append((op, view["vals"]))
+        elif set(f.indices) == {outer_var}:
+            outer_parts.append((op, f.array))
+        else:
+            flat_parts.append(
+                (op, formats[f.array].emit_load_vec(f.array, [gather_of[f.indices[0]]]))
+            )
+    if sign < 0:
+        scalar_parts.insert(0, ("*", "-1.0"))
+
+    def chain(parts, seed=None):
+        out = seed
+        for op, code in parts:
+            if out is None:
+                out = code if op == "*" else f"(1.0 {op} {code})"
+            else:
+                out = f"({out} {op} {code})"
+        return out
+
+    prod = chain(flat_parts)
+    out_name = f"{stmt.target.array}_vals"
+    if view["kind"] == "segments":
+        seg = view["segments"]
+        p_var, ne_var = g.fresh("prod"), g.fresh("ne")
+        g.emit(f"{p_var} = {prod}")
+        g.emit(f"{ne_var} = np.flatnonzero(np.diff({seg}))")
+        red = f"np.add.reduceat({p_var}, {seg}[{ne_var}])"
+        pieces = outer_parts and chain(
+            [
+                (op, formats[name].emit_load_vec(name, [ne_var]))
+                for op, name in outer_parts
+            ]
+        )
+        if pieces:
+            red = f"({pieces}) * {red}"
+        if scalar_parts:
+            red = f"({chain(scalar_parts)}) * {red}"
+        g.emit(f"{out_name}[{ne_var}] += {red}")
+    else:  # dense2d
+        red = f"({prod}).sum(axis=1)"
+        if outer_parts:
+            full = chain(
+                [
+                    (op, formats[name].emit_load_vec(name, [":"]))
+                    for op, name in outer_parts
+                ]
+            )
+            red = f"({full}) * {red}"
+        if scalar_parts:
+            red = f"({chain(scalar_parts)}) * {red}"
+        g.emit(f"{out_name}[:] += {red}")
+
+
+def _zero_fill(g: Emitter, target: Ref, formats: dict[str, Format]) -> None:
+    fmt = formats[target.array]
+    colons = ", ".join(":" for _ in range(fmt.ndim))
+    g.emit(f"{target.array}_vals[{colons}] = 0.0")
+
+
+def generate_source(
+    program: Program,
+    units: list[KernelUnit],
+    formats: dict[str, Format],
+    param_names: list[str],
+    vectorize: bool = True,
+    func_name: str = "kernel",
+) -> str:
+    """Emit the full kernel function for the program's plan units."""
+    g = Emitter()
+    g.emit(f"def {func_name}({', '.join(param_names)}):")
+    g.depth += 1
+    body_start = len(g.lines)
+    for unit in units:
+        if not unit.stmt.reduce:
+            # plain assignment: zero-fill then guarded accumulate
+            _zero_fill(g, unit.stmt.target, formats)
+        if unit.plan.noop:
+            continue
+        if vectorize and _segmented_vectorizable(unit, formats):
+            _emit_segmented_nest(g, program, unit, formats)
+        elif vectorize and _block_vectorizable(unit, formats):
+            _emit_block_nest(g, program, unit, formats)
+        elif vectorize and _vectorizable(unit, formats):
+            _emit_vector_nest(g, program, unit, formats)
+        else:
+            _emit_scalar_nest(g, program, unit, formats)
+    if len(g.lines) == body_start:
+        g.emit("pass")
+    g.depth -= 1
+    return g.source()

@@ -1,0 +1,192 @@
+"""Recursive-descent parser for the dense-loop mini-language.
+
+Grammar (whitespace-insensitive; ``#`` starts a line comment)::
+
+    program := loop
+    loop    := 'for' ID 'in' bound ':' bound '{' (loop | stmts) '}'
+    stmts   := stmt (';'? stmt)*
+    stmt    := ref ('=' | '+=') expr
+    expr    := term (('+' | '-') term)*
+    term    := factor (('*' | '/') factor)*
+    factor  := NUM | ref | ID | '(' expr ')' | '-' factor
+    ref     := ID '[' ID (',' ID)* ']'
+    bound   := NUM | ID
+
+A bare ID in an expression is a free scalar; a bracketed ID is an array
+reference.  The classic SpMV of the paper::
+
+    for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.compiler.ast_nodes import (
+    Assign,
+    BinOp,
+    LoopSpec,
+    Neg,
+    Num,
+    Program,
+    Ref,
+    Scalar,
+    normalize_statement,
+)
+from repro.errors import ParseError
+
+__all__ = ["parse", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<num>\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<op>\+=|[{}\[\](),:;=+\-*/])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(src: str) -> list[str]:
+    """Split source text into tokens; raises on unknown characters."""
+    out: list[str] = []
+    pos = 0
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {src[pos]!r} at offset {pos}")
+        pos = m.end()
+        if m.lastgroup != "ws" and m.group(m.lastgroup):
+            out.append(m.group(m.lastgroup))
+        elif m.lastgroup == "ws":
+            continue
+    return out
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.toks = tokens
+        self.k = 0
+
+    def peek(self) -> str | None:
+        return self.toks[self.k] if self.k < len(self.toks) else None
+
+    def next(self) -> str:
+        if self.k >= len(self.toks):
+            raise ParseError("unexpected end of input")
+        t = self.toks[self.k]
+        self.k += 1
+        return t
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise ParseError(f"expected {tok!r}, got {got!r}")
+
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        if self.peek() != "for":
+            raise ParseError("program must start with a 'for' loop")
+        loops, body = self.parse_loop()
+        if self.peek() is not None:
+            raise ParseError(f"trailing tokens starting at {self.peek()!r}")
+        return Program(tuple(loops), tuple(body))
+
+    def parse_loop(self) -> tuple[list[LoopSpec], list[Assign]]:
+        self.expect("for")
+        var = self.ident()
+        self.expect("in")
+        lo = self.bound()
+        self.expect(":")
+        hi = self.bound()
+        self.expect("{")
+        if self.peek() == "for":
+            loops, body = self.parse_loop()
+            loops = [LoopSpec(var, lo, hi)] + loops
+        else:
+            loops = [LoopSpec(var, lo, hi)]
+            body = self.parse_stmts()
+        self.expect("}")
+        return loops, body
+
+    def parse_stmts(self) -> list[Assign]:
+        stmts = [self.parse_stmt()]
+        while self.peek() not in ("}", None):
+            if self.peek() == ";":
+                self.next()
+                if self.peek() == "}":
+                    break
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> Assign:
+        target = self.parse_ref()
+        op = self.next()
+        if op not in ("=", "+="):
+            raise ParseError(f"expected '=' or '+=', got {op!r}")
+        expr = self.parse_expr()
+        return normalize_statement(Assign(target, expr, reduce=(op == "+=")))
+
+    def parse_expr(self):
+        node = self.parse_term()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            node = BinOp(op, node, self.parse_term())
+        return node
+
+    def parse_term(self):
+        node = self.parse_factor()
+        while self.peek() in ("*", "/"):
+            op = self.next()
+            node = BinOp(op, node, self.parse_factor())
+        return node
+
+    def parse_factor(self):
+        t = self.peek()
+        if t is None:
+            raise ParseError("unexpected end of expression")
+        if t == "(":
+            self.next()
+            node = self.parse_expr()
+            self.expect(")")
+            return node
+        if t == "-":
+            self.next()
+            return Neg(self.parse_factor())
+        if re.fullmatch(r"\d+(\.\d+)?([eE][+-]?\d+)?", t):
+            self.next()
+            return Num(float(t))
+        name = self.ident()
+        if self.peek() == "[":
+            return self.finish_ref(name)
+        return Scalar(name)
+
+    def parse_ref(self) -> Ref:
+        return self.finish_ref(self.ident())
+
+    def finish_ref(self, name: str) -> Ref:
+        self.expect("[")
+        idxs = [self.ident()]
+        while self.peek() == ",":
+            self.next()
+            idxs.append(self.ident())
+        self.expect("]")
+        return Ref(name, tuple(idxs))
+
+    def ident(self) -> str:
+        t = self.next()
+        if not re.fullmatch(r"[A-Za-z_]\w*", t) or t in ("for", "in"):
+            raise ParseError(f"expected identifier, got {t!r}")
+        return t
+
+    def bound(self) -> str:
+        t = self.next()
+        if re.fullmatch(r"\d+", t) or re.fullmatch(r"[A-Za-z_]\w*", t):
+            return t
+        raise ParseError(f"expected loop bound, got {t!r}")
+
+
+def parse(src: str) -> Program:
+    """Parse mini-language source into a :class:`Program`."""
+    return _Parser(tokenize(src)).parse_program()

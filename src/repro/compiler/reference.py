@@ -1,0 +1,91 @@
+"""Interpreted reference executor: the semantic oracle for compiled kernels.
+
+Runs a :class:`Program` naively over *dense* numpy views of the data —
+every iteration of every loop, no sparsity exploitation.  Compiled kernels
+must produce bit-identical structure (and numerically-close values, since
+summation order may differ) to this executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Num, Program, Ref, Scalar
+from repro.errors import CompileError
+
+__all__ = ["run_reference"]
+
+
+def _eval(expr: Expr, env: dict[str, int], arrays: dict[str, np.ndarray], scalars: dict[str, float]) -> float:
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Scalar):
+        return float(scalars[expr.name])
+    if isinstance(expr, Ref):
+        idx = tuple(env[v] for v in expr.indices)
+        return float(arrays[expr.array][idx])
+    if isinstance(expr, Neg):
+        return -_eval(expr.operand, env, arrays, scalars)
+    if isinstance(expr, BinOp):
+        l = _eval(expr.left, env, arrays, scalars)
+        r = _eval(expr.right, env, arrays, scalars)
+        if expr.op == "+":
+            return l + r
+        if expr.op == "-":
+            return l - r
+        if expr.op == "*":
+            return l * r
+        return l / r
+    raise CompileError(f"cannot evaluate {expr!r}")
+
+
+def run_reference(
+    program: Program,
+    arrays: dict[str, np.ndarray],
+    scalars: dict[str, float] | None = None,
+) -> dict[str, np.ndarray]:
+    """Execute the program densely; returns the (mutated) arrays dict.
+
+    ``arrays`` maps array names to dense numpy arrays (copies are made, so
+    inputs are untouched); ``scalars`` supplies free scalar values and any
+    symbolic loop bounds not inferable from array extents.
+    """
+    scalars = dict(scalars or {})
+    arrays = {k: np.array(v, dtype=np.float64) for k, v in arrays.items()}
+
+    # resolve loop bounds from scalars or array extents
+    extents: dict[str, int] = {}
+    for spec in program.loops:
+        if spec.hi.isdigit():
+            extents[spec.var] = int(spec.hi)
+        elif spec.hi in scalars:
+            extents[spec.var] = int(scalars[spec.hi])
+        else:
+            found = None
+            for stmt in program.body:
+                for ref in (stmt.target,) + stmt.expr.refs():
+                    for axis, v in enumerate(ref.indices):
+                        if v == spec.var:
+                            found = arrays[ref.array].shape[axis]
+            if found is None:
+                raise CompileError(f"cannot resolve bound {spec.hi!r}")
+            extents[spec.var] = int(found)
+        if spec.lo != "0":
+            raise CompileError("reference executor requires 0-based loops")
+
+    ranges = [range(extents[l.var]) for l in program.loops]
+    names = [l.var for l in program.loops]
+    for stmt in program.body:
+        if not stmt.reduce:
+            arrays[stmt.target.array][...] = 0.0
+        for point in itertools.product(*ranges):
+            env = dict(zip(names, point))
+            idx = tuple(env[v] for v in stmt.target.indices)
+            val = _eval(stmt.expr, env, arrays, scalars)
+            if stmt.reduce:
+                arrays[stmt.target.array][idx] += val
+            else:
+                arrays[stmt.target.array][idx] += val  # zero-filled above
+    return arrays

@@ -1,0 +1,48 @@
+"""Distribution relations: global-to-local index translation (paper Sec. 3.1).
+
+A distribution of a global index range [0, n) over P processors is the
+relation IND(i, p, i') — a 1-1 mapping between global index i and the pair
+(owner processor p, local offset i').  Different applications represent
+this relation differently, and exploiting that representation's structure
+is the paper's Table-3 point:
+
+* :class:`~repro.distribution.block.BlockDistribution` — HPF BLOCK,
+  ownership by closed-form formula (replicated knowledge),
+* :class:`~repro.distribution.block.CyclicDistribution` /
+  :class:`~repro.distribution.block.BlockCyclicDistribution` — HPF CYCLIC,
+* :class:`~repro.distribution.generalized.GeneralizedBlockDistribution` —
+  HPF-2 GEN_BLOCK: one contiguous block per processor, block sizes
+  replicated everywhere,
+* :class:`~repro.distribution.indirect.IndirectDistribution` — HPF-2
+  INDIRECT: an arbitrary MAP array; with the map replicated, ownership is
+  a local lookup,
+* :class:`~repro.distribution.multiblock.MultiBlockDistribution` — the
+  BlockSolve scheme: each processor owns a small number of contiguous row
+  ranges (one per color); the range list is replicated,
+* :class:`~repro.distribution.translation.DistributedTranslationTable` —
+  the Chaos scheme: the MAP array itself is block-distributed, so
+  ownership queries require communication (built and queried through the
+  SPMD machine).
+"""
+
+from repro.distribution.base import Distribution
+from repro.distribution.block import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+)
+from repro.distribution.generalized import GeneralizedBlockDistribution
+from repro.distribution.indirect import IndirectDistribution
+from repro.distribution.multiblock import MultiBlockDistribution
+from repro.distribution.translation import DistributedTranslationTable
+
+__all__ = [
+    "Distribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "GeneralizedBlockDistribution",
+    "IndirectDistribution",
+    "MultiBlockDistribution",
+    "DistributedTranslationTable",
+]

@@ -1,0 +1,74 @@
+"""Regular closed-form distributions: BLOCK, CYCLIC, BLOCK-CYCLIC.
+
+For these, the IND relation is a formula — ownership is computed at
+compile time / locally with no storage at all (paper Sec. 1: "In the case
+of regular block/cyclic distributions the distribution relations can be
+specified by a closed-form formula").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distribution.base import Distribution
+from repro.errors import DistributionError
+
+__all__ = ["BlockDistribution", "CyclicDistribution", "BlockCyclicDistribution"]
+
+
+class BlockDistribution(Distribution):
+    """HPF BLOCK: processor p owns the contiguous range
+    [p·B, (p+1)·B) with B = ⌈n / P⌉ (the last block may be short)."""
+
+    replicated = True
+
+    def __init__(self, nglobal: int, nprocs: int):
+        super().__init__(nglobal, nprocs)
+        self.block = max(1, -(-self.nglobal // self.nprocs))  # ceil div
+
+    def owner(self, i):
+        return np.minimum(np.asarray(i) // self.block, self.nprocs - 1)
+
+    def local_index(self, i):
+        i = np.asarray(i)
+        return i - self.owner(i) * self.block
+
+    def owned_by(self, p: int) -> np.ndarray:
+        lo = min(p * self.block, self.nglobal)
+        hi = self.nglobal if p == self.nprocs - 1 else min((p + 1) * self.block, self.nglobal)
+        return np.arange(lo, max(lo, hi))
+
+
+class CyclicDistribution(Distribution):
+    """HPF CYCLIC(1): global index i lives on processor i mod P."""
+
+    replicated = True
+
+    def owner(self, i):
+        return np.asarray(i) % self.nprocs
+
+    def local_index(self, i):
+        return np.asarray(i) // self.nprocs
+
+    def owned_by(self, p: int) -> np.ndarray:
+        return np.arange(p, self.nglobal, self.nprocs)
+
+
+class BlockCyclicDistribution(Distribution):
+    """HPF CYCLIC(B): blocks of B indices dealt round-robin."""
+
+    replicated = True
+
+    def __init__(self, nglobal: int, nprocs: int, block: int):
+        super().__init__(nglobal, nprocs)
+        if block < 1:
+            raise DistributionError(f"block size must be >= 1, got {block}")
+        self.block = int(block)
+
+    def owner(self, i):
+        return (np.asarray(i) // self.block) % self.nprocs
+
+    def local_index(self, i):
+        i = np.asarray(i)
+        round_ = i // (self.block * self.nprocs)
+        return round_ * self.block + i % self.block

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.  The
+subclasses mirror the major subsystems: relational algebra, storage formats,
+the compiler, distributions, and the SPMD runtime.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "FormatError",
+    "CompileError",
+    "ParseError",
+    "PlanningError",
+    "SparsityError",
+    "DistributionError",
+    "RuntimeMachineError",
+    "InspectorError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation was used with fields that do not match its schema."""
+
+
+class FormatError(ReproError):
+    """A sparse storage format was constructed or accessed inconsistently."""
+
+
+class CompileError(ReproError):
+    """The compiler could not translate a program."""
+
+
+class ParseError(CompileError):
+    """The mini-language source text is malformed."""
+
+
+class PlanningError(CompileError):
+    """No legal join order / access plan exists for the query."""
+
+
+class SparsityError(CompileError):
+    """Sparsity-predicate derivation failed for an expression."""
+
+
+class DistributionError(ReproError):
+    """A distribution relation is inconsistent (not 1-1 and onto)."""
+
+
+class RuntimeMachineError(ReproError):
+    """Misuse of the simulated SPMD machine."""
+
+
+class InspectorError(ReproError):
+    """Inspector could not build a valid communication schedule."""

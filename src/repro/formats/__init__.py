@@ -1,0 +1,79 @@
+"""Sparse (and dense) storage formats described via access methods.
+
+Each format stores a matrix or vector and *describes itself to the compiler*
+as a hierarchy of access levels (paper Sec. 2.1, the ``J -> (I, V)``
+notation).  A level can *enumerate* the indices it binds and/or *search* for
+a given index; it declares properties — sorted output, dense coverage,
+search cost — that the planner uses to choose join orders and join
+implementations.  The compilation machinery is independent of the concrete
+set of formats: anything implementing :class:`~repro.formats.base.Format`
+can be compiled against (see ``examples/custom_format.py``).
+
+Exchange type: :class:`~repro.formats.coo.COOMatrix` (canonical coordinate
+triples).  Every matrix format converts to/from COO; conversions are the
+composition through COO.
+"""
+
+from repro.formats.base import AccessLevel, Format, Emitter
+from repro.formats.coo import COOMatrix
+from repro.formats.dense import DenseMatrix, DenseVector
+from repro.formats.crs import CRSMatrix
+from repro.formats.ccs import CCSMatrix
+from repro.formats.cccs import CCCSMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.diagonal import DiagonalMatrix
+from repro.formats.jdiag import JaggedDiagonalMatrix
+from repro.formats.sparse_vector import SparseVector
+from repro.formats.permutation import Permutation
+from repro.formats.permuted import PermutedMatrix
+from repro.formats.translated import TranslatedVector
+from repro.formats.inode import InodeMatrix
+from repro.formats.blockdiag import BlockDiagonalMatrix
+from repro.formats.blocksolve import BlockSolveMatrix
+
+__all__ = [
+    "AccessLevel",
+    "Format",
+    "Emitter",
+    "COOMatrix",
+    "DenseMatrix",
+    "DenseVector",
+    "CRSMatrix",
+    "CCSMatrix",
+    "CCCSMatrix",
+    "ELLMatrix",
+    "DiagonalMatrix",
+    "JaggedDiagonalMatrix",
+    "SparseVector",
+    "Permutation",
+    "PermutedMatrix",
+    "TranslatedVector",
+    "InodeMatrix",
+    "BlockDiagonalMatrix",
+    "BlockSolveMatrix",
+    "FORMAT_NAMES",
+    "matrix_format_by_name",
+]
+
+#: The sequential matrix formats of Table 1, by their paper column names.
+FORMAT_NAMES = {
+    "Diagonal": DiagonalMatrix,
+    "Coordinate": COOMatrix,
+    "CRS": CRSMatrix,
+    "CCS": CCSMatrix,
+    "CCCS": CCCSMatrix,
+    "ITPACK": ELLMatrix,
+    "JDiag": JaggedDiagonalMatrix,
+    "BS95": BlockSolveMatrix,
+    "Dense": DenseMatrix,
+}
+
+
+def matrix_format_by_name(name: str):
+    """Look up a matrix format class by its Table-1 column name."""
+    try:
+        return FORMAT_NAMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; known: {sorted(FORMAT_NAMES)}"
+        ) from None

@@ -1,0 +1,135 @@
+"""Reusable compressed access levels shared by CRS/CCS/CCCS and friends.
+
+A *compressed* level stores, for each parent position ``q``, a contiguous
+segment ``ptr[q] : ptr[q+1]`` of an index array.  This is the classic
+"pointer + index" building block of sparse formats; the paper's CCS
+description ``J -> (I, V)`` is a dense column level above a compressed row
+level.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import AccessLevel, Emitter
+
+__all__ = ["CompressedLevel", "CompressedOuterLevel", "segment_search"]
+
+
+def segment_search(idx: np.ndarray, lo: int, hi: int, key: int) -> int:
+    """Binary search for ``key`` in the sorted segment ``idx[lo:hi]``.
+
+    Returns the absolute position, or -1 if absent.
+    """
+    k = lo + int(np.searchsorted(idx[lo:hi], key, side="left"))
+    if k < hi and idx[k] == key:
+        return k
+    return -1
+
+
+class CompressedLevel(AccessLevel):
+    """Inner compressed level: segment of ``idx`` under each parent position.
+
+    Parameters
+    ----------
+    axis:
+        The matrix axis this level binds.
+    ptr_name, idx_name:
+        Storage-array suffixes (``"rowptr"``/``"colind"`` for CRS).  The
+        owning format's ``storage()`` must provide ``{prefix}_{ptr_name}``,
+        ``{prefix}_{idx_name}`` and the search callable
+        ``{prefix}_find_{idx_name}(parent_pos, key) -> pos | -1``.
+    fanout:
+        Average segment length (cost model).
+    sorted_within:
+        Indices within each segment are increasing (enables binary search
+        and merge joins).
+    """
+
+    searchable = True
+    dense = False
+
+    def __init__(self, axis: int, ptr_name: str, idx_name: str, fanout: float, sorted_within: bool = True):
+        self.binds = (axis,)
+        self.axis = axis
+        self.ptr_name = ptr_name
+        self.idx_name = idx_name
+        self._fanout = float(fanout)
+        self.sorted_enum = bool(sorted_within)
+        self.searchable = bool(sorted_within)
+        self.search_cost = 8.0
+
+    def avg_fanout(self) -> float:
+        return self._fanout
+
+    def emit_enumerate(self, g: Emitter, prefix: str, parent_pos, axis_vars: Mapping[int, str]) -> str:
+        if parent_pos is None:
+            raise FormatError("compressed level needs a parent position")
+        p = g.fresh("p")
+        ptr = f"{prefix}_{self.ptr_name}"
+        g.open(f"for {p} in range({ptr}[{parent_pos}], {ptr}[{parent_pos} + 1]):")
+        g.emit(f"{axis_vars[self.axis]} = {prefix}_{self.idx_name}[{p}]")
+        return p
+
+    def emit_search(self, g: Emitter, prefix: str, parent_pos, axis_exprs: Mapping[int, str]) -> str:
+        if not self.searchable:
+            raise FormatError("unsorted compressed level is not searchable")
+        p = g.fresh("p")
+        g.emit(f"{p} = {prefix}_find_{self.idx_name}({parent_pos}, {axis_exprs[self.axis]})")
+        g.open(f"if {p} < 0:")
+        g.emit("continue")
+        g.close()
+        return p
+
+    def vector_view(self, prefix: str, parent_pos):
+        ptr = f"{prefix}_{self.ptr_name}"
+        return {
+            "slice": (f"{ptr}[{parent_pos}]", f"{ptr}[{parent_pos} + 1]"),
+            "index": {
+                self.axis: ("gather", f"{prefix}_{self.idx_name}[{{s}}:{{e}}]")
+            },
+            # indices within one segment never repeat
+            "unique_axes": frozenset({self.axis}) if self.sorted_enum else frozenset(),
+        }
+
+
+class CompressedOuterLevel(AccessLevel):
+    """Outermost compressed level: enumerate only the *stored* indices of an
+    axis (e.g. CCCS's COLIND array of nonempty columns).
+
+    Storage contract: ``{prefix}_{idx_name}`` (the stored indices, sorted)
+    and ``{prefix}_{count_name}`` (how many), plus the search callable
+    ``{prefix}_find_{idx_name}(key) -> pos | -1``.
+    """
+
+    searchable = True
+    sorted_enum = True
+    dense = False
+    search_cost = 8.0
+
+    def __init__(self, axis: int, idx_name: str, count_name: str, fanout: float):
+        self.binds = (axis,)
+        self.axis = axis
+        self.idx_name = idx_name
+        self.count_name = count_name
+        self._fanout = float(fanout)
+
+    def avg_fanout(self) -> float:
+        return self._fanout
+
+    def emit_enumerate(self, g: Emitter, prefix: str, parent_pos, axis_vars: Mapping[int, str]) -> str:
+        p = g.fresh("q")
+        g.open(f"for {p} in range({prefix}_{self.count_name}):")
+        g.emit(f"{axis_vars[self.axis]} = {prefix}_{self.idx_name}[{p}]")
+        return p
+
+    def emit_search(self, g: Emitter, prefix: str, parent_pos, axis_exprs: Mapping[int, str]) -> str:
+        p = g.fresh("q")
+        g.emit(f"{p} = {prefix}_find_{self.idx_name}({axis_exprs[self.axis]})")
+        g.open(f"if {p} < 0:")
+        g.emit("continue")
+        g.close()
+        return p

@@ -1,0 +1,142 @@
+"""Compressed sparse vector.
+
+Stores the nonzero positions (sorted) and their values.  Used as the sparse
+``x`` in the paper's opening example (``y = A·x`` with both A and x sparse),
+where the planner must *search* x or merge it against A's column
+enumeration instead of a dense O(1) lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import AccessLevel, Emitter, Format, check_shape
+
+__all__ = ["SparseVector", "SparseVectorLevel"]
+
+
+class SparseVectorLevel(AccessLevel):
+    """The single level of a compressed vector: sorted stored indices."""
+
+    searchable = True
+    sorted_enum = True
+    dense = False
+    search_cost = 8.0
+    mergeable = True
+
+    def __init__(self, owner: "SparseVector"):
+        self.binds = (0,)
+        self._owner = owner
+
+    def avg_fanout(self) -> float:
+        return float(self._owner.nnz)
+
+    def emit_enumerate(self, g: Emitter, prefix: str, parent_pos, axis_vars: Mapping[int, str]) -> str:
+        p = g.fresh("p")
+        g.open(f"for {p} in range({prefix}_nnz):")
+        g.emit(f"{axis_vars[0]} = {prefix}_ind[{p}]")
+        return p
+
+    def emit_search(self, g: Emitter, prefix: str, parent_pos, axis_exprs: Mapping[int, str]) -> str:
+        p = g.fresh("p")
+        g.emit(f"{p} = {prefix}_find({axis_exprs[0]})")
+        g.open(f"if {p} < 0:")
+        g.emit("continue")
+        g.close()
+        return p
+
+    def emit_merge(self, g: Emitter, prefix: str, parent_pos, key_expr: str, cursor: str) -> str:
+        g.open(f"while {cursor} < {prefix}_nnz and {prefix}_ind[{cursor}] < {key_expr}:")
+        g.emit(f"{cursor} += 1")
+        g.close()
+        g.open(f"if {cursor} >= {prefix}_nnz:")
+        g.emit("break")
+        g.close()
+        g.open(f"if {prefix}_ind[{cursor}] != {key_expr}:")
+        g.emit("continue")
+        g.close()
+        return cursor
+
+    def vector_view(self, prefix: str, parent_pos):
+        return {
+            "slice": ("0", f"{prefix}_nnz"),
+            "index": {0: ("gather", f"{prefix}_ind[{{s}}:{{e}}]")},
+        }
+
+
+class SparseVector(Format):
+    """A compressed 1-D vector: sorted indices + values."""
+
+    format_name = "SparseVector"
+
+    def __init__(self, n, ind, vals):
+        self._shape = check_shape((n,), 1)
+        self.ind = np.asarray(ind, dtype=np.int64)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        if len(self.ind) != len(self.vals):
+            raise FormatError("ind/vals length mismatch")
+        if len(self.ind):
+            if np.any(np.diff(self.ind) <= 0):
+                raise FormatError("indices must be strictly increasing")
+            if self.ind[0] < 0 or self.ind[-1] >= self._shape[0]:
+                raise FormatError("index out of bounds")
+
+    @classmethod
+    def from_dense(cls, dense) -> "SparseVector":
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 1:
+            raise FormatError("from_dense expects a 1-D array")
+        idx = np.flatnonzero(dense)
+        return cls(len(dense), idx, dense[idx])
+
+    @classmethod
+    def from_entries(cls, n, ind, vals) -> "SparseVector":
+        """Canonicalize possibly-unsorted, possibly-duplicated entries."""
+        ind = np.asarray(ind, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if len(ind) == 0:
+            return cls(n, ind, vals)
+        order = np.argsort(ind, kind="stable")
+        ind, vals = ind[order], vals[order]
+        new = np.empty(len(ind), dtype=bool)
+        new[0] = True
+        new[1:] = ind[1:] != ind[:-1]
+        pos = np.flatnonzero(new)
+        return cls(n, ind[pos], np.add.reduceat(vals, pos))
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self._shape[0])
+        out[self.ind] = self.vals
+        return out
+
+    @property
+    def shape(self):
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return len(self.vals)
+
+    def levels(self):
+        return (SparseVectorLevel(self),)
+
+    def storage(self, prefix: str):
+        return {
+            f"{prefix}_ind": self.ind,
+            f"{prefix}_vals": self.vals,
+            f"{prefix}_nnz": self.nnz,
+            f"{prefix}_n0": self._shape[0],
+            f"{prefix}_find": self._find,
+        }
+
+    def emit_load(self, g, prefix, axis_vars, pos):
+        return f"{prefix}_vals[{pos}]"
+
+    def _find(self, i: int) -> int:
+        p = int(np.searchsorted(self.ind, i, side="left"))
+        if p < len(self.ind) and self.ind[p] == i:
+            return p
+        return -1

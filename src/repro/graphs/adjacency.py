@@ -1,0 +1,57 @@
+"""Adjacency construction from sparse matrix patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["adjacency_sets", "contracted_graph"]
+
+
+def adjacency_sets(coo, include_self: bool = True) -> list[frozenset[int]]:
+    """The symmetrized structural adjacency of a square matrix.
+
+    Vertex i is adjacent to j iff A[i,j] or A[j,i] is stored.  With
+    ``include_self`` the vertex itself is always in its set — the right
+    convention for i-node detection (two rows with identical off-diagonal
+    structure but differing diagonals are still "identical nodes" of the
+    underlying graph).
+    """
+    if coo.shape[0] != coo.shape[1]:
+        raise ReproError("adjacency requires a square matrix")
+    n = coo.shape[0]
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for i, j in zip(coo.row.tolist(), coo.col.tolist()):
+        adj[i].add(j)
+        adj[j].add(i)
+    if include_self:
+        for i in range(n):
+            adj[i].add(i)
+    return [frozenset(s) for s in adj]
+
+
+def contracted_graph(adj: list[frozenset[int]], groups: list[list[int]]) -> list[set[int]]:
+    """Contract vertex ``groups`` (a partition) into super-vertices.
+
+    Returns the adjacency (as sets of group ids, self-loops removed) of the
+    contracted graph: groups g and h are adjacent iff some member of g is
+    adjacent to some member of h.
+    """
+    n = len(adj)
+    group_of = -np.ones(n, dtype=np.int64)
+    for gid, members in enumerate(groups):
+        for v in members:
+            if group_of[v] != -1:
+                raise ReproError(f"vertex {v} in two groups")
+            group_of[v] = gid
+    if np.any(group_of < 0):
+        raise ReproError("groups do not cover all vertices")
+    cadj: list[set[int]] = [set() for _ in groups]
+    for gid, members in enumerate(groups):
+        for v in members:
+            for w in adj[v]:
+                h = int(group_of[w])
+                if h != gid:
+                    cadj[gid].add(h)
+    return cadj

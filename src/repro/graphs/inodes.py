@@ -1,0 +1,36 @@
+"""I-node detection: rows with identical column structure (paper Fig. 2(c)).
+
+Stiffness matrices from multi-component finite-element models have groups
+of rows with *identical* column patterns — one group per discretization
+point, of size equal to the number of degrees of freedom.  Gathering each
+group's values into a small dense matrix reduces index storage (one column
+list serves the whole group) and turns SpMV inner loops into dense GEMV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["find_inodes"]
+
+
+def find_inodes(patterns: list[frozenset[int]] | list[tuple[int, ...]]) -> list[list[int]]:
+    """Partition row ids into groups with identical patterns.
+
+    Parameters
+    ----------
+    patterns:
+        For each row, its set (or sorted tuple) of column indices.
+
+    Returns
+    -------
+    Groups of row ids, each sorted ascending; groups ordered by their
+    smallest member.  Every row appears in exactly one group.
+    """
+    buckets: dict[tuple[int, ...], list[int]] = {}
+    for i, pat in enumerate(patterns):
+        key = tuple(sorted(pat)) if not isinstance(pat, tuple) else pat
+        buckets.setdefault(key, []).append(i)
+    groups = [sorted(v) for v in buckets.values()]
+    groups.sort(key=lambda g: g[0])
+    return groups

@@ -1,0 +1,55 @@
+"""Compiled sparse matrix-vector products."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler import compile_kernel
+from repro.formats.base import Format
+from repro.formats.blocksolve import BlockSolveMatrix
+from repro.formats.dense import DenseVector
+
+__all__ = ["spmv", "spmv_transpose", "SPMV_SRC", "SPMV_T_SRC"]
+
+#: The paper's running example, verbatim (Sec. 2).
+SPMV_SRC = "for i in 0:n { for j in 0:m { Y[i] += A[i,j] * X[j] } }"
+SPMV_T_SRC = "for i in 0:n { for j in 0:m { Y[j] += A[i,j] * X[i] } }"
+
+
+def spmv(A: Format, x, y=None, vectorize: bool = True) -> np.ndarray:
+    """y (+)= A·x for any matrix format.
+
+    ``x`` is a dense 1-D array (or DenseVector); pass ``y`` to accumulate
+    in place, otherwise a zero vector is allocated.  BlockSolve matrices
+    dispatch to the hand-written library kernel (the format is composite;
+    see paper Sec. 3.3).
+    """
+    xv = x.vals if isinstance(x, DenseVector) else np.asarray(x, dtype=np.float64)
+    if isinstance(A, BlockSolveMatrix):
+        out = A.matvec(xv)
+        if y is None:
+            return out
+        yv = y.vals if isinstance(y, DenseVector) else y
+        yv += out
+        return yv
+    yv = np.zeros(A.shape[0]) if y is None else (y.vals if isinstance(y, DenseVector) else y)
+    X, Y = DenseVector(xv), DenseVector(yv)
+    k = compile_kernel(SPMV_SRC, {"A": A, "X": X, "Y": Y}, vectorize=vectorize)
+    k(A=A, X=X, Y=Y)
+    return Y.vals
+
+
+def spmv_transpose(A: Format, x, y=None, vectorize: bool = True) -> np.ndarray:
+    """y (+)= Aᵀ·x for any matrix format (no transposed copy is built —
+    the planner simply schedules the other projection of the same query)."""
+    xv = x.vals if isinstance(x, DenseVector) else np.asarray(x, dtype=np.float64)
+    if isinstance(A, BlockSolveMatrix):
+        # composite: transpose through the exchange format (rarely needed)
+        from repro.formats.crs import CRSMatrix
+
+        return spmv(CRSMatrix.from_coo(A.to_coo().transpose()), xv, y, vectorize)
+    yv = np.zeros(A.shape[1]) if y is None else (y.vals if isinstance(y, DenseVector) else y)
+    X, Y = DenseVector(xv), DenseVector(yv)
+    k = compile_kernel(SPMV_T_SRC, {"A": A, "X": X, "Y": Y}, vectorize=vectorize)
+    k(A=A, X=X, Y=Y)
+    return Y.vals

@@ -1,0 +1,29 @@
+"""Workload generators and matrix I/O.
+
+The paper evaluates on PETSc test matrices, Matrix Market matrices and a
+synthetic 3-D grid problem (7-point stencil, 5 degrees of freedom).  This
+package provides:
+
+* :mod:`~repro.matrices.stencil` — 1/2/3-D grid Laplacians with a dense
+  dof×dof coupling block per grid point (the paper's weak-scaling problem),
+* :mod:`~repro.matrices.fem` — i-node/clique-rich FEM-style matrices
+  (paper Fig. 2's multi-component finite-element model),
+* :mod:`~repro.matrices.suite` — synthetic stand-ins for the Table-1
+  matrix suite, matched by structure class (see DESIGN.md substitutions),
+* :mod:`~repro.matrices.mmio` — MatrixMarket coordinate-format text I/O.
+"""
+
+from repro.matrices.stencil import grid_laplacian, stencil_matrix
+from repro.matrices.fem import fem_matrix
+from repro.matrices.suite import TABLE1_MATRICES, table1_matrix
+from repro.matrices.mmio import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "grid_laplacian",
+    "stencil_matrix",
+    "fem_matrix",
+    "TABLE1_MATRICES",
+    "table1_matrix",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,76 @@
+"""FEM-style matrices rich in i-nodes and cliques (paper Fig. 2).
+
+Models a multi-component finite-element discretization: a random planar-ish
+point graph where every point carries ``dof`` unknowns.  Two coupled points
+contribute a dense dof×dof block; a point's own dof rows form a dense
+diagonal block.  Every point's rows share one column pattern (i-nodes of
+size dof) and are mutually adjacent (cliques of size dof) — exactly the
+structure BlockSolve exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.formats.coo import COOMatrix
+
+__all__ = ["fem_matrix"]
+
+
+def fem_matrix(points: int, dof: int = 3, neighbors: int = 3, rng=None) -> COOMatrix:
+    """A symmetric positive-definite-ish FEM-style matrix.
+
+    Parameters
+    ----------
+    points:
+        Number of discretization points (matrix dimension = points·dof).
+    dof:
+        Degrees of freedom per point.
+    neighbors:
+        Target couplings per point: each point is linked to its
+        ``neighbors`` nearest points in a random 2-D embedding — a cheap
+        stand-in for a triangulation.
+    rng:
+        Seed or generator (deterministic given a seed).
+    """
+    if points < 1 or dof < 1:
+        raise ReproError("points and dof must be >= 1")
+    r = np.random.default_rng(rng)
+    xy = r.random((points, 2))
+    # symmetric k-nearest-neighbor coupling graph
+    edges: set[tuple[int, int]] = set()
+    if points > 1:
+        d2 = ((xy[:, None, :] - xy[None, :, :]) ** 2).sum(-1)
+        np.fill_diagonal(d2, np.inf)
+        k = min(neighbors, points - 1)
+        nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        for p in range(points):
+            for q in nearest[p]:
+                edges.add((min(p, int(q)), max(p, int(q))))
+    di, dj = np.meshgrid(np.arange(dof), np.arange(dof), indexing="ij")
+    di, dj = di.ravel(), dj.ravel()
+    rows, cols, vals = [], [], []
+
+    def add_block(p: int, q: int, block: np.ndarray) -> None:
+        rows.append(p * dof + di)
+        cols.append(q * dof + dj)
+        vals.append(block.ravel())
+
+    degree = np.zeros(points, dtype=np.int64)
+    for p, q in sorted(edges):
+        B = r.standard_normal((dof, dof)) * 0.2
+        add_block(p, q, B)
+        add_block(q, p, B.T)
+        degree[p] += 1
+        degree[q] += 1
+    for p in range(points):
+        D = r.standard_normal((dof, dof)) * 0.2
+        D = (D + D.T) / 2 + (degree[p] + 2.0) * np.eye(dof)
+        add_block(p, p, D)
+    return COOMatrix.from_entries(
+        (points * dof, points * dof),
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals),
+    )

@@ -1,0 +1,92 @@
+"""MatrixMarket coordinate-format text I/O (the paper cites Matrix Market
+[8] as the source of its test suite).
+
+Supports the ``matrix coordinate real {general|symmetric}`` and
+``matrix coordinate pattern`` flavors — enough to read the files the paper
+used, had we network access, and to exchange matrices with scipy.io.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def read_matrix_market(path_or_file) -> COOMatrix:
+    """Read a MatrixMarket coordinate file into canonical COO."""
+    if isinstance(path_or_file, (str, Path)):
+        with open(path_or_file, "r") as f:
+            return read_matrix_market(f)
+    f = path_or_file
+    header = f.readline().strip().split()
+    if len(header) < 5 or header[0] != "%%MatrixMarket":
+        raise FormatError(f"bad MatrixMarket header: {header}")
+    _, obj, fmt, field, symmetry = header[:5]
+    if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+        raise FormatError(f"unsupported MatrixMarket object/format: {obj} {fmt}")
+    field = field.lower()
+    symmetry = symmetry.lower()
+    if field not in ("real", "integer", "pattern"):
+        raise FormatError(f"unsupported field type {field!r}")
+    if symmetry not in ("general", "symmetric", "skew-symmetric"):
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+    line = f.readline()
+    while line.startswith("%"):
+        line = f.readline()
+    nrows, ncols, nnz = map(int, line.split())
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    k = 0
+    for line in f:
+        line = line.strip()
+        if not line or line.startswith("%"):
+            continue
+        parts = line.split()
+        if k >= nnz:
+            raise FormatError("more entries than declared")
+        rows[k] = int(parts[0]) - 1
+        cols[k] = int(parts[1]) - 1
+        vals[k] = float(parts[2]) if field != "pattern" else 1.0
+        k += 1
+    if k != nnz:
+        raise FormatError(f"declared {nnz} entries, found {k}")
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows, cols, vals = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+            np.concatenate([vals, sign * vals[off]]),
+        )
+    return COOMatrix.from_entries((nrows, ncols), rows, cols, vals)
+
+
+def write_matrix_market(matrix: COOMatrix, path_or_file, comment: str = "") -> None:
+    """Write canonical COO as a ``coordinate real general`` file."""
+    if isinstance(path_or_file, (str, Path)):
+        with open(path_or_file, "w") as f:
+            write_matrix_market(matrix, f, comment)
+            return
+    f = path_or_file
+    m = matrix.canonicalized()
+    f.write("%%MatrixMarket matrix coordinate real general\n")
+    for line in comment.splitlines():
+        f.write(f"% {line}\n")
+    f.write(f"{m.shape[0]} {m.shape[1]} {m.nnz}\n")
+    for i, j, v in zip(m.row.tolist(), m.col.tolist(), m.vals.tolist()):
+        f.write(f"{i + 1} {j + 1} {v!r}\n")
+
+
+def dumps(matrix: COOMatrix, comment: str = "") -> str:
+    """The MatrixMarket text of a matrix as a string."""
+    buf = io.StringIO()
+    write_matrix_market(matrix, buf, comment)
+    return buf.getvalue()

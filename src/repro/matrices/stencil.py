@@ -1,0 +1,86 @@
+"""Grid stencil matrices: the paper's synthetic 3-D problem.
+
+The parallel evaluation (Tables 2–3) runs CG on "synthetic three-dimensional
+grid problems [whose] connectivity corresponds to a 7-point stencil with 5
+degrees of freedom at each discretization point".  :func:`stencil_matrix`
+builds exactly that family: a grid Laplacian L (5-point in 2-D, 7-point in
+3-D) Kronecker-expanded with a dense dof×dof coupling block, i.e.
+
+    A = L ⊗ B + I ⊗ C
+
+with B/C dense dof-sized blocks — every grid point's dof rows share one
+column pattern (i-nodes) and are mutually coupled (cliques).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.formats.coo import COOMatrix
+
+__all__ = ["grid_laplacian", "stencil_matrix"]
+
+
+def grid_laplacian(dims: tuple[int, ...]) -> COOMatrix:
+    """Standard (2·d+1)-point Laplacian on a d-dimensional grid.
+
+    ``dims`` is the grid extent per dimension; 1-, 2- and 3-D supported
+    (tridiagonal / 5-point / 7-point stencils).  Diagonal = 2·d,
+    off-diagonals = -1, Dirichlet boundaries (no wraparound).
+    """
+    dims = tuple(int(d) for d in dims)
+    if not 1 <= len(dims) <= 3 or any(d < 1 for d in dims):
+        raise ReproError(f"bad grid dims {dims}")
+    n = int(np.prod(dims))
+    idx = np.arange(n).reshape(dims)
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    vals = [np.full(n, 2.0 * len(dims))]
+    for axis in range(len(dims)):
+        lo = np.take(idx, np.arange(dims[axis] - 1), axis=axis).ravel()
+        hi = np.take(idx, np.arange(1, dims[axis]), axis=axis).ravel()
+        rows.extend([lo, hi])
+        cols.extend([hi, lo])
+        vals.extend([np.full(len(lo), -1.0), np.full(len(hi), -1.0)])
+    return COOMatrix.from_entries(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def stencil_matrix(dims: tuple[int, ...], dof: int = 1, rng=None) -> COOMatrix:
+    """Grid stencil with ``dof`` degrees of freedom per point.
+
+    A = L ⊗ B + I ⊗ C where L is the grid Laplacian, B a symmetric dense
+    dof×dof coupling block and C a diagonal-dominant dense block keeping
+    the result positive definite.  With ``dof=1`` this reduces to L itself
+    (up to the scalar shift).  Deterministic given ``rng``.
+    """
+    dof = int(dof)
+    if dof < 1:
+        raise ReproError("dof must be >= 1")
+    lap = grid_laplacian(dims)
+    if dof == 1:
+        return lap
+    r = np.random.default_rng(rng if rng is not None else 0)
+    B = r.standard_normal((dof, dof)) * 0.1
+    B = (B + B.T) / 2 + np.eye(dof)
+    C = r.standard_normal((dof, dof)) * 0.1
+    C = (C + C.T) / 2 + (2.0 * len(dims) * 2.0) * np.eye(dof)
+    n = lap.shape[0]
+    # kron expansion at COO level: entry (i, j, v) of L spawns the dense
+    # block v*B at rows i*dof..+dof, cols j*dof..+dof; diagonal adds C
+    di, dj = np.meshgrid(np.arange(dof), np.arange(dof), indexing="ij")
+    di, dj = di.ravel(), dj.ravel()
+    rows = (lap.row[:, None] * dof + di[None, :]).ravel()
+    cols = (lap.col[:, None] * dof + dj[None, :]).ravel()
+    vals = (lap.vals[:, None] * B.ravel()[None, :]).ravel()
+    drows = (np.arange(n)[:, None] * dof + di[None, :]).ravel()
+    dcols = (np.arange(n)[:, None] * dof + dj[None, :]).ravel()
+    dvals = np.tile(C.ravel(), n)
+    return COOMatrix.from_entries(
+        (n * dof, n * dof),
+        np.concatenate([rows, drows]),
+        np.concatenate([cols, dcols]),
+        np.concatenate([vals, dvals]),
+    )

@@ -1,0 +1,189 @@
+"""Synthetic stand-ins for the Table-1 matrix suite.
+
+The paper's Table 1 measures sparse matrix-vector product on matrices from
+the PETSc test suite (small, medium, cfd.1.10) and the Matrix Market
+(685_bus, bcsstm27, gr_30_30, memplus, sherman1).  Those files are not
+available offline, so each is replaced by a *generator matched to its
+structure class* — the property Table 1 actually probes ("no single format
+wins everywhere; structure determines the winner"):
+
+=============  =========================  ==================================
+name           paper matrix               structure class reproduced
+=============  =========================  ==================================
+small          PETSc 'small'              small regular 2-D 5-point grid
+medium         PETSc 'medium'             larger regular 2-D 5-point grid
+cfd.1.10       PETSc CFD test             3-D stencil, multiple unknowns
+                                          per cell (dense dof coupling)
+685_bus        MM 685_bus (685², power)   irregular low-degree network
+bcsstm27       MM bcsstm27 (1224², FEM)   multi-dof FEM: i-nodes + cliques
+gr_30_30       MM gr_30_30 (900², grid)   exact: 9-point star on 30×30
+memplus        MM memplus (17758²,        diagonal + a few very long rows
+               circuit)                   (extreme row-length skew)
+sherman1       MM sherman1 (1000², oil    exact-shape: 7-point stencil on
+               reservoir 10×10×10)        a 10×10×10 grid
+=============  =========================  ==================================
+
+Every generator is deterministic.  Sizes are kept at (or scaled toward)
+the originals where a pure-Python benchmark can still turn them around;
+``memplus`` is scaled down (17758 → 2400 rows) with the row-length skew
+preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.matrices.fem import fem_matrix
+from repro.matrices.stencil import grid_laplacian, stencil_matrix
+
+__all__ = ["TABLE1_MATRICES", "table1_matrix", "SuiteEntry"]
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One synthetic Table-1 matrix: factory plus provenance notes."""
+
+    name: str
+    factory: Callable[[], COOMatrix]
+    paper_source: str
+    structure: str
+
+
+def _grid9(nx: int, ny: int) -> COOMatrix:
+    """9-point star on an nx×ny grid (gr_30_30's stencil): diagonal 8,
+    all 8 neighbors -1."""
+    n = nx * ny
+    idx = np.arange(n).reshape(nx, ny)
+    rows, cols, vals = [np.arange(n)], [np.arange(n)], [np.full(n, 8.0)]
+    shifts = [(di, dj) for di in (-1, 0, 1) for dj in (-1, 0, 1) if (di, dj) != (0, 0)]
+    for di, dj in shifts:
+        src = idx[max(0, -di) : nx - max(0, di), max(0, -dj) : ny - max(0, dj)]
+        dst = idx[max(0, di) : nx + min(0, di), max(0, dj) : ny + min(0, dj)]
+        rows.append(src.ravel())
+        cols.append(dst.ravel())
+        vals.append(np.full(src.size, -1.0))
+    return COOMatrix.from_entries(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def _bus_network(n: int = 685, extra_edges: int = 300, rng=685) -> COOMatrix:
+    """Power-network stand-in: a random tree (the grid's spanning backbone)
+    plus a sprinkle of extra lines; symmetric, diagonally dominant."""
+    r = np.random.default_rng(rng)
+    parents = np.array([r.integers(0, i) for i in range(1, n)])
+    rows = [np.arange(1, n), parents]
+    cols = [parents, np.arange(1, n)]
+    e1 = r.integers(0, n, size=extra_edges)
+    e2 = r.integers(0, n, size=extra_edges)
+    keep = e1 != e2
+    rows.extend([e1[keep], e2[keep]])
+    cols.extend([e2[keep], e1[keep]])
+    rows_a = np.concatenate(rows)
+    cols_a = np.concatenate(cols)
+    vals_a = -np.abs(r.standard_normal(len(rows_a)))
+    off = COOMatrix.from_entries((n, n), rows_a, cols_a, vals_a)
+    # symmetrize values, then add a dominant diagonal
+    off = COOMatrix.from_entries(
+        (n, n),
+        np.concatenate([off.row, off.col]),
+        np.concatenate([off.col, off.row]),
+        np.concatenate([off.vals, off.vals]) * 0.5,
+    )
+    diag = np.arange(n)
+    dv = -np.asarray(
+        [off.vals[off.row == i].sum() for i in range(n)]
+    ) + 1.0  # row-sum dominance
+    return COOMatrix.from_entries(
+        (n, n),
+        np.concatenate([off.row, diag]),
+        np.concatenate([off.col, diag]),
+        np.concatenate([off.vals, dv]),
+    )
+
+
+def _memplus_like(n: int = 2400, hubs: int = 24, rng=177) -> COOMatrix:
+    """Circuit-simulation stand-in: tridiagonal bulk plus a few hub rows
+    and columns with hundreds of entries — the row-length skew that makes
+    padded formats (ITPACK) collapse on memplus."""
+    r = np.random.default_rng(rng)
+    i = np.arange(n)
+    rows = [i, i[:-1], i[1:]]
+    cols = [i, i[1:], i[:-1]]
+    vals = [np.full(n, 4.0), np.full(n - 1, -1.0), np.full(n - 1, -1.0)]
+    hub_ids = r.choice(n, size=hubs, replace=False)
+    for h in hub_ids:
+        targets = r.choice(n, size=n // 8, replace=False)
+        rows.extend([np.full(len(targets), h), targets])
+        cols.extend([targets, np.full(len(targets), h)])
+        w = r.standard_normal(len(targets)) * 0.01
+        vals.extend([w, w])
+    return COOMatrix.from_entries(
+        (n, n), np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+TABLE1_MATRICES: dict[str, SuiteEntry] = {
+    "small": SuiteEntry(
+        "small",
+        lambda: grid_laplacian((8, 8)),
+        "PETSc test matrix 'small'",
+        "small regular 2-D 5-point grid (64 rows)",
+    ),
+    "medium": SuiteEntry(
+        "medium",
+        lambda: grid_laplacian((18, 18)),
+        "PETSc test matrix 'medium'",
+        "regular 2-D 5-point grid (324 rows)",
+    ),
+    "cfd.1.10": SuiteEntry(
+        "cfd.1.10",
+        lambda: stencil_matrix((6, 6, 6), dof=4, rng=10),
+        "PETSc CFD test problem",
+        "3-D 7-point stencil, 4 unknowns per cell (864 rows)",
+    ),
+    "685_bus": SuiteEntry(
+        "685_bus",
+        lambda: _bus_network(685),
+        "Matrix Market 685_bus (power network)",
+        "irregular low-degree network (685 rows)",
+    ),
+    "bcsstm27": SuiteEntry(
+        "bcsstm27",
+        lambda: fem_matrix(points=204, dof=6, neighbors=4, rng=27),
+        "Matrix Market bcsstm27 (BCS mass matrix)",
+        "multi-dof FEM with i-nodes and cliques (1224 rows)",
+    ),
+    "gr_30_30": SuiteEntry(
+        "gr_30_30",
+        lambda: _grid9(30, 30),
+        "Matrix Market gr_30_30",
+        "exact structure: 9-point star on a 30×30 grid (900 rows)",
+    ),
+    "memplus": SuiteEntry(
+        "memplus",
+        lambda: _memplus_like(),
+        "Matrix Market memplus (memory circuit)",
+        "diagonal bulk + hub rows, extreme row-length skew (2400 rows)",
+    ),
+    "sherman1": SuiteEntry(
+        "sherman1",
+        lambda: grid_laplacian((10, 10, 10)),
+        "Matrix Market sherman1 (oil reservoir, 10×10×10)",
+        "exact shape: 7-point stencil on a 10×10×10 grid (1000 rows)",
+    ),
+}
+
+
+def table1_matrix(name: str) -> COOMatrix:
+    """Build the synthetic stand-in for a Table-1 matrix by name."""
+    try:
+        return TABLE1_MATRICES[name].factory()
+    except KeyError:
+        raise KeyError(
+            f"unknown Table-1 matrix {name!r}; known: {sorted(TABLE1_MATRICES)}"
+        ) from None

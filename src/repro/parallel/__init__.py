@@ -1,0 +1,38 @@
+"""Parallel sparse code generation (paper Section 3).
+
+Distributed arrays are distributed relations defined by the fragmentation
+equation (Eq. 15); distributed loop execution is distributed query
+evaluation: localize the iteration relation under owner-computes (Eq. 16),
+exploit collocation (aligned joins need no communication, Eq. 19–20), and
+turn the remaining global references into inspector queries (Eq. 21–22).
+
+This package provides the three CG/SpMV strategies the evaluation
+compares:
+
+* ``bernoulli`` — the naive fully-global specification (paper Eq. 23):
+  the inspector discovers locality it was not told about, translating
+  *every* x reference; the executor pays one extra indirection per access,
+* ``bernoulli-mixed`` — the mixed local/global specification (Eq. 24):
+  the products against locally-addressed data are node-level programs; only
+  the non-local part goes through the inspector,
+* ``blocksolve`` — the hand-written library path over BlockSolve
+  structures (dense clique blocks + i-nodes, packed neighbor exchange),
+
+plus the two Chaos-style inspectors (``indirect`` / ``indirect-mixed``)
+that pay for a distributed translation table (Table 3's last columns).
+"""
+
+from repro.parallel.fragment import RowFragment, partition_rows
+from repro.parallel.spmd_spmv import (
+    SPMV_VARIANTS,
+    make_spmv_setup,
+    spmv_executor_step,
+)
+
+__all__ = [
+    "RowFragment",
+    "partition_rows",
+    "SPMV_VARIANTS",
+    "make_spmv_setup",
+    "spmv_executor_step",
+]

@@ -1,0 +1,251 @@
+"""The distributed SpMV strategies of the evaluation (paper Sec. 3.3 & 4).
+
+Each strategy is a per-rank object with two SPMD generator methods:
+
+* ``setup()``   — the *inspector*: build whatever communication schedule
+  and localized data structures the strategy needs,
+* ``step(x)``   — the *executor*: one y = A·x over the local rows, given
+  the local piece of x.
+
+The five strategies:
+
+===============  ====================================================
+``blocksolve``   hand-written library code over BlockSolve structures
+                 (dense clique blocks A_D + local i-nodes A_SL + ghost
+                 i-nodes A_SNL); ownership from the replicated
+                 multi-block distribution
+``mixed``        Bernoulli-Mixed (paper Eq. 24): compiled kernels; the
+                 local/non-local split is declared, so the inspector
+                 only touches boundary columns
+``global``       Bernoulli naive (paper Eq. 23): fully data-parallel
+                 spec; the inspector translates *every* referenced
+                 column (work ∝ problem size) and the executor reads x
+                 through one extra indirection everywhere
+``indirect-mixed``  like ``mixed`` but ownership goes through a Chaos
+                 distributed translation table (inspector only)
+``indirect``     like ``global`` with the translation table
+                 (inspector only)
+===============  ====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler import compile_kernel
+from repro.distribution.base import Distribution
+from repro.distribution.translation import build_translation_table
+from repro.errors import InspectorError
+from repro.formats.coo import COOMatrix
+from repro.formats.crs import CRSMatrix
+from repro.formats.dense import DenseVector
+from repro.formats.translated import TranslatedVector
+from repro.kernels.spmv import SPMV_SRC
+from repro.parallel.fragment import RowFragment
+from repro.parallel.spmd_blocksolve import BlockSolveSpMV  # noqa: F401 (re-export)
+from repro.runtime.inspector import (
+    build_schedule_replicated,
+    build_schedule_translated,
+    exchange,
+)
+
+__all__ = [
+    "GlobalSpMV",
+    "BlockSolveSpMV",
+    "MixedSpMV",
+    "IndirectInspector",
+    "SPMV_VARIANTS",
+    "make_spmv_setup",
+    "spmv_executor_step",
+]
+
+
+def _crs_from_parts(nrows, ncols, row, col, vals) -> CRSMatrix:
+    return CRSMatrix.from_coo(
+        COOMatrix((nrows, ncols), row, col, vals).canonicalized()
+    )
+
+
+class GlobalSpMV:
+    """Bernoulli naive: fully-global specification (paper Eq. 23).
+
+    The inspector cannot know that most references are local: it builds a
+    global-to-ghost translation for *every* referenced column, and the
+    executor reads every x value through the ghost indirection — the
+    redundant level of indirection the paper measures at ~10% executor
+    slowdown and ~10× inspector cost.
+    """
+
+    def __init__(self, rank: int, dist: Distribution, frag: RowFragment):
+        self.rank = rank
+        self.dist = dist
+        self.frag = frag
+        self.nlocal = frag.nlocal
+
+    def setup(self):
+        nglobal = self.frag.matrix.shape[1]
+        used = self.frag.used_columns()  # ∝ local problem size
+        self.sched = yield from build_schedule_replicated(self.rank, self.dist, used)
+        # the fragment keeps GLOBAL columns; x is accessed through a
+        # problem-size global-to-ghost map at runtime — the redundant
+        # indirection of the naive specification
+        xmap = np.zeros(nglobal, dtype=np.int64)
+        if len(used):
+            slots = self.sched.ghost_slot_of(used)
+            if np.any(slots < 0):
+                raise InspectorError("ghost translation missed a used column")
+            xmap[used] = slots
+        self.A = _crs_from_parts(
+            self.nlocal,
+            nglobal,
+            self.frag.matrix.row,
+            self.frag.matrix.col,
+            self.frag.matrix.vals,
+        )
+        gbuf = np.zeros(max(1, self.sched.nghost))
+        self._gbuf = gbuf
+        self._xview = TranslatedVector(nglobal, gbuf, xmap)
+        self._ybuf = DenseVector.zeros(self.nlocal)
+        kernel = compile_kernel(SPMV_SRC, {"A": self.A, "X": self._xview, "Y": self._ybuf})
+        self._run = kernel.bind(A=self.A, X=self._xview, Y=self._ybuf)
+        return None
+
+    def step(self, xlocal: np.ndarray):
+        ghost = yield from exchange(self.sched, xlocal)
+        if self.sched.nghost:
+            self._gbuf[: self.sched.nghost] = ghost
+        self._ybuf.vals[:] = 0.0
+        self._run()
+        return self._ybuf.vals.copy()
+
+
+class MixedSpMV:
+    """Bernoulli-Mixed: the mixed local/global specification (paper Eq. 24).
+
+    The products against locally-owned columns are node-level compiled
+    kernels addressing x directly; only the non-local part goes through
+    the inspector, whose Used set is just the boundary.
+    """
+
+    def __init__(self, rank: int, dist: Distribution, frag: RowFragment):
+        self.rank = rank
+        self.dist = dist
+        self.frag = frag
+        self.nlocal = frag.nlocal
+
+    def setup(self):
+        m = self.frag.matrix
+        mine = self.dist.owner(m.col) == self.rank  # local lookup: replicated IND
+        # local part: columns renumbered straight to local x offsets
+        self.A_local = _crs_from_parts(
+            self.nlocal,
+            max(1, self.nlocal),
+            m.row[mine],
+            self.dist.local_index(m.col[mine]),
+            m.vals[mine],
+        )
+        used = np.unique(m.col[~mine])  # boundary only
+        self.sched = yield from build_schedule_replicated(self.rank, self.dist, used)
+        ghost_cols = self.sched.ghost_slot_of(m.col[~mine])
+        self.A_ghost = _crs_from_parts(
+            self.nlocal,
+            max(1, self.sched.nghost),
+            m.row[~mine],
+            ghost_cols,
+            m.vals[~mine],
+        )
+        self._xbuf = DenseVector.zeros(max(1, self.nlocal))
+        self._gbuf = DenseVector.zeros(max(1, self.sched.nghost))
+        self._ybuf = DenseVector.zeros(self.nlocal)
+        k_local = compile_kernel(SPMV_SRC, {"A": self.A_local, "X": self._xbuf, "Y": self._ybuf})
+        k_ghost = compile_kernel(SPMV_SRC, {"A": self.A_ghost, "X": self._gbuf, "Y": self._ybuf})
+        self._run_local = k_local.bind(A=self.A_local, X=self._xbuf, Y=self._ybuf)
+        self._run_ghost = k_ghost.bind(A=self.A_ghost, X=self._gbuf, Y=self._ybuf)
+        return None
+
+    def step(self, xlocal: np.ndarray):
+        self._ybuf.vals[:] = 0.0
+        if self.nlocal:
+            self._xbuf.vals[:] = xlocal
+        self._run_local()
+        ghost = yield from exchange(self.sched, xlocal)
+        if self.sched.nghost:
+            self._gbuf.vals[:] = ghost
+        self._run_ghost()
+        return self._ybuf.vals.copy()
+
+
+class IndirectInspector:
+    """Chaos-style inspectors for the HPF-2 INDIRECT distribution.
+
+    The distribution relation is NOT replicated: ownership must be
+    resolved through a distributed translation table (build: all-to-all
+    with volume ∝ problem size; query: another all-to-all round).  The
+    executor would be identical to the Bernoulli ones, so — like the
+    paper — only the inspector is materialized and measured.
+
+    ``used_cols`` is the Used set to translate: for the mixed spec, the
+    non-local references only; for the naive spec, every referenced
+    column.
+    """
+
+    def __init__(self, rank: int, nglobal: int, nprocs: int, owned_global, used_cols):
+        self.rank = rank
+        self.nglobal = int(nglobal)
+        self.nprocs = int(nprocs)
+        self.owned_global = np.asarray(owned_global, dtype=np.int64)
+        self.used_cols = np.asarray(used_cols, dtype=np.int64)
+
+    @classmethod
+    def from_fragment(cls, rank: int, dist: Distribution, frag: RowFragment, mixed: bool):
+        """Build from a row fragment: naive Used = all referenced columns;
+        mixed Used = columns outside my own index list (local knowledge)."""
+        owned = frag.rows_global
+        cols = frag.matrix.col
+        if mixed:
+            mine = np.zeros(dist.nglobal, dtype=bool)
+            mine[owned] = True
+            used = np.unique(cols[~mine[cols]])
+        else:
+            used = np.unique(cols)
+        return cls(rank, dist.nglobal, dist.nprocs, owned, used)
+
+    def setup(self):
+        table = yield from build_translation_table(
+            self.rank, self.nglobal, self.nprocs, self.owned_global
+        )
+        self.sched = yield from build_schedule_translated(
+            self.rank, table, self.used_cols
+        )
+        return None
+
+    def step(self, xlocal):  # pragma: no cover - not used in the evaluation
+        raise InspectorError("Indirect variants materialize the inspector only")
+        yield
+
+
+SPMV_VARIANTS = {
+    "mixed": MixedSpMV,
+    "global": GlobalSpMV,
+    "indirect-mixed": lambda rank, dist, frag: IndirectInspector.from_fragment(
+        rank, dist, frag, True
+    ),
+    "indirect": lambda rank, dist, frag: IndirectInspector.from_fragment(
+        rank, dist, frag, False
+    ),
+}
+
+
+def make_spmv_setup(variant: str, rank: int, dist, frag_or_bs):
+    """Construct the per-rank strategy object for ``variant``."""
+    try:
+        cls = SPMV_VARIANTS[variant]
+    except KeyError:
+        raise KeyError(f"unknown variant {variant!r}; known: {sorted(SPMV_VARIANTS)}") from None
+    return cls(rank, dist, frag_or_bs)
+
+
+def spmv_executor_step(strategy, xlocal):
+    """One executor iteration of any strategy (SPMD subroutine)."""
+    y = yield from strategy.step(xlocal)
+    return y

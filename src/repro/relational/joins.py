@@ -1,0 +1,126 @@
+"""Equi-join algorithms over column-oriented relations.
+
+Each algorithm returns a pair of integer index arrays ``(left_idx,
+right_idx)`` such that row ``left_idx[k]`` of the left input matches row
+``right_idx[k]`` of the right input on all key fields.  The caller gathers
+output columns from these.
+
+Three classic implementations are provided — the same menu the compiler's
+planner chooses from when scheduling a query (paper Section 2: "determining
+how each of the joins should be implemented"):
+
+* :func:`nested_loop_join` — O(n·m), no preconditions; the oracle used in
+  tests.
+* :func:`hash_join` — O(n+m) expected; build on the smaller input.
+* :func:`merge_join` — O(n+m); requires both inputs sorted on the keys and
+  produces output sorted on the keys.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.relation import Relation
+
+__all__ = ["nested_loop_join", "hash_join", "merge_join", "is_sorted_by"]
+
+
+def _key_columns(rel: "Relation", keys: Sequence[str]) -> list[np.ndarray]:
+    return [rel.column(k) for k in keys]
+
+
+def _key_tuple(cols: list[np.ndarray], i: int) -> tuple:
+    return tuple(c[i].item() for c in cols)
+
+
+def nested_loop_join(left: "Relation", right: "Relation", keys: Sequence[str]):
+    """Brute-force O(n·m) join; the correctness oracle."""
+    lc, rc = _key_columns(left, keys), _key_columns(right, keys)
+    li, ri = [], []
+    for i in range(len(left)):
+        ki = _key_tuple(lc, i)
+        for j in range(len(right)):
+            if _key_tuple(rc, j) == ki:
+                li.append(i)
+                ri.append(j)
+    return np.asarray(li, dtype=np.int64), np.asarray(ri, dtype=np.int64)
+
+
+def hash_join(left: "Relation", right: "Relation", keys: Sequence[str]):
+    """Hash join: build a table on the smaller side, probe with the larger.
+
+    Output order follows the probe side (then build-side insertion order
+    within a key group), which matches the nested-loop result as a bag.
+    """
+    swap = len(left) < len(right)
+    build, probe = (left, right) if swap else (right, left)
+    bc, pc = _key_columns(build, keys), _key_columns(probe, keys)
+    table: dict[tuple, list[int]] = {}
+    for j in range(len(build)):
+        table.setdefault(_key_tuple(bc, j), []).append(j)
+    pi, bi = [], []
+    for i in range(len(probe)):
+        matches = table.get(_key_tuple(pc, i))
+        if matches:
+            for j in matches:
+                pi.append(i)
+                bi.append(j)
+    pi_a = np.asarray(pi, dtype=np.int64)
+    bi_a = np.asarray(bi, dtype=np.int64)
+    if swap:
+        return bi_a, pi_a  # build side was 'left'
+    return pi_a, bi_a
+
+
+def is_sorted_by(rel: "Relation", keys: Sequence[str]) -> bool:
+    """True iff the rows are lexicographically non-decreasing on ``keys``."""
+    if len(rel) <= 1:
+        return True
+    cols = _key_columns(rel, keys)
+    prev = _key_tuple(cols, 0)
+    for i in range(1, len(rel)):
+        cur = _key_tuple(cols, i)
+        if cur < prev:
+            return False
+        prev = cur
+    return True
+
+
+def merge_join(left: "Relation", right: "Relation", keys: Sequence[str]):
+    """Sort-merge join.  Both inputs must already be sorted on ``keys``.
+
+    Raises ``ValueError`` if an input is not sorted — the planner is
+    responsible for only selecting a merge join when the access methods
+    guarantee sorted enumeration (the ``sorted`` access-method property).
+    """
+    if not is_sorted_by(left, keys):
+        raise ValueError("merge_join: left input not sorted on keys")
+    if not is_sorted_by(right, keys):
+        raise ValueError("merge_join: right input not sorted on keys")
+    lc, rc = _key_columns(left, keys), _key_columns(right, keys)
+    n, m = len(left), len(right)
+    li, ri = [], []
+    i = j = 0
+    while i < n and j < m:
+        ki, kj = _key_tuple(lc, i), _key_tuple(rc, j)
+        if ki < kj:
+            i += 1
+        elif ki > kj:
+            j += 1
+        else:
+            # emit the full cross product of the equal-key groups
+            i2 = i
+            while i2 < n and _key_tuple(lc, i2) == ki:
+                i2 += 1
+            j2 = j
+            while j2 < m and _key_tuple(rc, j2) == ki:
+                j2 += 1
+            for a in range(i, i2):
+                for b in range(j, j2):
+                    li.append(a)
+                    ri.append(b)
+            i, j = i2, j2
+    return np.asarray(li, dtype=np.int64), np.asarray(ri, dtype=np.int64)

@@ -1,0 +1,233 @@
+"""Sparsity predicates (paper Eq. 3): guards of the form NZ(A(i,j)).
+
+The compiler derives, for each statement, a predicate over ``NZ(array(idx))``
+literals that is true exactly on the iterations that must be executed.
+Products give conjunctions (a*b ≠ 0 requires both nonzero); sums give
+disjunctions (a+b may be nonzero if either is).  The planner consumes the
+predicate in *disjunctive normal form*: each disjunct is a conjunctive query
+that can be scheduled independently (union of enumerations).
+
+Predicates are immutable and hashable so they can key the kernel cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = [
+    "Predicate",
+    "TruePred",
+    "FalsePred",
+    "NZ",
+    "And",
+    "Or",
+    "conj",
+    "disj",
+    "to_dnf",
+]
+
+
+class Predicate:
+    """Base class for sparsity predicates."""
+
+    def evaluate(self, nz: Callable[[str, tuple], bool]) -> bool:
+        """Evaluate with ``nz(array_name, index_tuple) -> bool``."""
+        raise NotImplementedError
+
+    def arrays(self) -> frozenset[str]:
+        """Names of all arrays mentioned by NZ literals."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TruePred(Predicate):
+    """Always true (all iterations run — fully dense statement)."""
+
+    def evaluate(self, nz):
+        return True
+
+    def arrays(self):
+        return frozenset()
+
+    def __repr__(self):
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class FalsePred(Predicate):
+    """Never true (statement provably has no effect)."""
+
+    def evaluate(self, nz):
+        return False
+
+    def arrays(self):
+        return frozenset()
+
+    def __repr__(self):
+        return "FALSE"
+
+
+@dataclass(frozen=True)
+class NZ(Predicate):
+    """The literal NZ(array(indices)): the element is (structurally) nonzero.
+
+    ``indices`` is a tuple of loop-index names, e.g. ``NZ("A", ("i", "j"))``
+    for the predicate NZ(A(i,j)).
+    """
+
+    array: str
+    indices: tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "indices", tuple(self.indices))
+
+    def evaluate(self, nz):
+        return bool(nz(self.array, self.indices))
+
+    def arrays(self):
+        return frozenset({self.array})
+
+    def __repr__(self):
+        return f"NZ({self.array}({','.join(self.indices)}))"
+
+
+def _flatten(cls, children: Iterable[Predicate]) -> tuple[Predicate, ...]:
+    out: list[Predicate] = []
+    for c in children:
+        if isinstance(c, cls):
+            out.extend(c.children)
+        else:
+            out.append(c)
+    # deduplicate while preserving order
+    seen: set[Predicate] = set()
+    uniq = []
+    for c in out:
+        if c not in seen:
+            seen.add(c)
+            uniq.append(c)
+    return tuple(uniq)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction.  Simplification is done by :func:`conj`."""
+
+    children: tuple[Predicate, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "children", tuple(self.children))
+
+    def evaluate(self, nz):
+        return all(c.evaluate(nz) for c in self.children)
+
+    def arrays(self):
+        return frozenset().union(*(c.arrays() for c in self.children)) if self.children else frozenset()
+
+    def __repr__(self):
+        return "(" + " & ".join(map(repr, self.children)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction.  Simplification is done by :func:`disj`."""
+
+    children: tuple[Predicate, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "children", tuple(self.children))
+
+    def evaluate(self, nz):
+        return any(c.evaluate(nz) for c in self.children)
+
+    def arrays(self):
+        return frozenset().union(*(c.arrays() for c in self.children)) if self.children else frozenset()
+
+    def __repr__(self):
+        return "(" + " | ".join(map(repr, self.children)) + ")"
+
+
+def conj(*ps: Predicate) -> Predicate:
+    """Smart AND: flattens, drops TRUE, short-circuits FALSE."""
+    kept: list[Predicate] = []
+    for p in _flatten(And, ps):
+        if isinstance(p, FalsePred):
+            return FalsePred()
+        if not isinstance(p, TruePred):
+            kept.append(p)
+    if not kept:
+        return TruePred()
+    if len(kept) == 1:
+        return kept[0]
+    return And(tuple(kept))
+
+
+def disj(*ps: Predicate) -> Predicate:
+    """Smart OR: flattens, drops FALSE, short-circuits TRUE."""
+    kept: list[Predicate] = []
+    for p in _flatten(Or, ps):
+        if isinstance(p, TruePred):
+            return TruePred()
+        if not isinstance(p, FalsePred):
+            kept.append(p)
+    if not kept:
+        return FalsePred()
+    if len(kept) == 1:
+        return kept[0]
+    return Or(tuple(kept))
+
+
+def to_dnf(p: Predicate) -> list[tuple[NZ, ...]]:
+    """Normalize to DNF: a list of conjunctions, each a tuple of NZ literals.
+
+    * ``TRUE``  → ``[()]``        (one disjunct with no constraints)
+    * ``FALSE`` → ``[]``          (no disjuncts at all)
+
+    Duplicate literals within a conjunct are removed; conjuncts subsumed by
+    a weaker conjunct (a subset of its literals) are dropped, so e.g.
+    ``NZ(A) | (NZ(A) & NZ(B))`` normalizes to ``[NZ(A)]``.
+    """
+    disjuncts = _dnf(p)
+    # canonicalize each conjunct: dedupe + stable order
+    canon: list[tuple[NZ, ...]] = []
+    seen: set[frozenset] = set()
+    for con in disjuncts:
+        lits = []
+        s: set[NZ] = set()
+        for lit in con:
+            if lit not in s:
+                s.add(lit)
+                lits.append(lit)
+        key = frozenset(s)
+        if key not in seen:
+            seen.add(key)
+            canon.append(tuple(lits))
+    # drop subsumed conjuncts (a superset conjunct is implied by its subset)
+    sets = [frozenset(c) for c in canon]
+    kept = []
+    for k, c in enumerate(canon):
+        if any(sets[m] < sets[k] for m in range(len(canon))):
+            continue
+        kept.append(c)
+    return kept
+
+
+def _dnf(p: Predicate) -> list[tuple[NZ, ...]]:
+    if isinstance(p, TruePred):
+        return [()]
+    if isinstance(p, FalsePred):
+        return []
+    if isinstance(p, NZ):
+        return [(p,)]
+    if isinstance(p, Or):
+        out: list[tuple[NZ, ...]] = []
+        for c in p.children:
+            out.extend(_dnf(c))
+        return out
+    if isinstance(p, And):
+        parts = [_dnf(c) for c in p.children]
+        acc: list[tuple[NZ, ...]] = [()]
+        for part in parts:
+            acc = [a + b for a in acc for b in part]
+        return acc
+    raise TypeError(f"not a predicate: {p!r}")

@@ -1,0 +1,251 @@
+"""Materialized, column-oriented relations.
+
+A :class:`Relation` stores one numpy array per field (all of equal length).
+Bag semantics: duplicate tuples are allowed and preserved; ``project``
+removes duplicates (set semantics, as in the paper's π operator) unless
+asked not to, and ``distinct`` is available explicitly.
+
+This is the *interpreted* evaluator — the semantic reference against which
+the compiler's generated kernels are tested, and the engine the parallel
+inspector uses to compute Used / RecvInd sets (paper Eq. 21–22).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational import joins as _joins
+
+__all__ = ["Relation"]
+
+
+def _as_column(values) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise SchemaError(f"relation columns must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+class Relation:
+    """A relation with named, typed columns.
+
+    Parameters
+    ----------
+    schema:
+        Field names (a :class:`Schema` or an iterable of names).
+    columns:
+        Mapping from field name to a 1-D array-like.  All columns must have
+        the same length and exactly cover the schema.
+    """
+
+    __slots__ = ("schema", "_cols")
+
+    def __init__(self, schema: Schema | Iterable[str], columns: Mapping[str, Sequence]):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        cols: dict[str, np.ndarray] = {}
+        n = None
+        for f in schema:
+            if f not in columns:
+                raise SchemaError(f"missing column {f!r}")
+            c = _as_column(columns[f])
+            if n is None:
+                n = len(c)
+            elif len(c) != n:
+                raise SchemaError(
+                    f"column {f!r} has length {len(c)}, expected {n}"
+                )
+            cols[f] = c
+        extra = set(columns) - set(schema.fields)
+        if extra:
+            raise SchemaError(f"columns {sorted(extra)} not in schema {schema}")
+        self._cols = cols
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tuples(cls, schema: Schema | Iterable[str], rows: Iterable[tuple]) -> "Relation":
+        """Build a relation from an iterable of tuples (row-major input)."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        rows = list(rows)
+        if rows:
+            transposed = list(zip(*rows))
+            if len(transposed) != len(schema):
+                raise SchemaError(
+                    f"rows have arity {len(transposed)}, schema has {len(schema)}"
+                )
+            cols = {f: np.asarray(col) for f, col in zip(schema, transposed)}
+        else:
+            cols = {f: np.empty(0, dtype=np.int64) for f in schema}
+        return cls(schema, cols)
+
+    @classmethod
+    def empty(cls, schema: Schema | Iterable[str], dtypes: Mapping[str, np.dtype] | None = None) -> "Relation":
+        """An empty relation over ``schema`` (int64 columns by default)."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        dtypes = dtypes or {}
+        cols = {
+            f: np.empty(0, dtype=dtypes.get(f, np.int64)) for f in schema
+        }
+        return cls(schema, cols)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def column(self, field: str) -> np.ndarray:
+        """The column for ``field`` (a view; treat as read-only)."""
+        try:
+            return self._cols[field]
+        except KeyError:
+            raise SchemaError(f"no column {field!r} in {self.schema}") from None
+
+    def __len__(self) -> int:
+        return len(self._cols[self.schema.fields[0]])
+
+    def to_tuples(self) -> list[tuple]:
+        """Materialize as a list of Python tuples (row-major)."""
+        cols = [self._cols[f] for f in self.schema]
+        return [tuple(c[i].item() for c in cols) for i in range(len(self))]
+
+    def to_set(self) -> set[tuple]:
+        """Materialize as a set of tuples (ignores multiplicity/order)."""
+        return set(self.to_tuples())
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same schema, same tuples with same multiplicities."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.schema != other.schema or len(self) != len(other):
+            return False
+        return sorted(self.to_tuples()) == sorted(other.to_tuples())
+
+    def __hash__(self):  # relations are mutable-ish containers
+        raise TypeError("Relation is unhashable")
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self.schema.fields)}, n={len(self)})"
+
+    # ------------------------------------------------------------------
+    # relational operators
+    # ------------------------------------------------------------------
+    def select_mask(self, mask: np.ndarray) -> "Relation":
+        """σ by a boolean mask aligned with the rows."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise SchemaError(f"mask shape {mask.shape} != ({len(self)},)")
+        return Relation(self.schema, {f: c[mask] for f, c in self._cols.items()})
+
+    def select(self, pred: Callable[..., np.ndarray]) -> "Relation":
+        """σ by a vectorized predicate over the columns (in schema order)."""
+        mask = pred(*(self._cols[f] for f in self.schema))
+        return self.select_mask(np.asarray(mask, dtype=bool))
+
+    def project(self, fields: Sequence[str], distinct: bool = True) -> "Relation":
+        """π onto ``fields``; removes duplicates by default (paper Eq. 28)."""
+        sub = Schema(fields)
+        out = Relation(sub, {f: self.column(f) for f in fields})
+        return out.distinct() if distinct else out
+
+    def distinct(self) -> "Relation":
+        """Remove duplicate tuples (order not preserved: sorted output)."""
+        if len(self) == 0:
+            return self
+        stacked = np.stack([self._cols[f] for f in self.schema], axis=1)
+        uniq = np.unique(stacked, axis=0)
+        return Relation(
+            self.schema, {f: uniq[:, k] for k, f in enumerate(self.schema)}
+        )
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        """ρ: rename fields via ``mapping`` (absent fields kept)."""
+        new_schema = self.schema.renamed(mapping)
+        cols = {mapping.get(f, f): c for f, c in self._cols.items()}
+        return Relation(new_schema, cols)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Bag union with an identically-schema'd relation."""
+        if self.schema != other.schema:
+            raise SchemaError(
+                f"union schema mismatch: {self.schema} vs {other.schema}"
+            )
+        cols = {}
+        for f in self.schema:
+            a, b = self._cols[f], other._cols[f]
+            dtype = np.result_type(a.dtype, b.dtype) if len(a) and len(b) else (a.dtype if len(a) else b.dtype)
+            cols[f] = np.concatenate([a.astype(dtype, copy=False), b.astype(dtype, copy=False)])
+        return Relation(self.schema, cols)
+
+    def sort_by(self, fields: Sequence[str]) -> "Relation":
+        """Stable sort of the rows by ``fields`` (last field least significant
+        per numpy.lexsort convention reversed: first field most significant)."""
+        if len(self) == 0:
+            return self
+        keys = tuple(self.column(f) for f in reversed(list(fields)))
+        order = np.lexsort(keys)
+        return Relation(self.schema, {f: c[order] for f, c in self._cols.items()})
+
+    def join(self, other: "Relation", on: Sequence[str] | None = None, algorithm: str = "auto") -> "Relation":
+        """Equi-join ⋈ on the shared fields (or explicit ``on`` list).
+
+        ``algorithm`` selects the implementation: ``"hash"``, ``"merge"``
+        (requires both inputs sorted by the keys — the caller asserts this),
+        ``"nested"``, or ``"auto"`` (hash).  The output schema is this
+        relation's fields followed by the other's non-key fields.
+        """
+        keys = tuple(on) if on is not None else self.schema.common(other.schema)
+        if not keys:
+            raise SchemaError("equi-join requires at least one common field")
+        for k in keys:
+            if k not in self.schema or k not in other.schema:
+                raise SchemaError(f"join key {k!r} missing from an input schema")
+        if algorithm == "auto":
+            algorithm = "hash"
+        if algorithm == "hash":
+            li, ri = _joins.hash_join(self, other, keys)
+        elif algorithm == "merge":
+            li, ri = _joins.merge_join(self, other, keys)
+        elif algorithm == "nested":
+            li, ri = _joins.nested_loop_join(self, other, keys)
+        else:
+            raise ValueError(f"unknown join algorithm {algorithm!r}")
+        out_fields = list(self.schema.fields) + [
+            f for f in other.schema.fields if f not in keys
+        ]
+        cols: dict[str, np.ndarray] = {}
+        for f in self.schema:
+            cols[f] = self._cols[f][li]
+        for f in other.schema:
+            if f not in keys:
+                if f in cols:
+                    raise SchemaError(
+                        f"non-key field {f!r} appears in both join inputs; rename first"
+                    )
+                cols[f] = other._cols[f][ri]
+        return Relation(out_fields, cols)
+
+    def semijoin(self, other: "Relation", on: Sequence[str] | None = None) -> "Relation":
+        """⋉: rows of self whose key appears in other."""
+        keys = tuple(on) if on is not None else self.schema.common(other.schema)
+        if not keys:
+            raise SchemaError("semi-join requires at least one common field")
+        li, _ = _joins.hash_join(self, other.project(list(keys)), keys)
+        mask = np.zeros(len(self), dtype=bool)
+        mask[li] = True
+        return self.select_mask(mask)
+
+    def difference_keys(self, other: "Relation", on: Sequence[str]) -> "Relation":
+        """Rows of self whose key tuple does NOT appear in other (anti-join)."""
+        li, _ = _joins.hash_join(self, other.project(list(on)), tuple(on))
+        mask = np.ones(len(self), dtype=bool)
+        mask[li] = False
+        return self.select_mask(mask)

@@ -1,0 +1,90 @@
+"""Schemas: ordered, named fields of a relation.
+
+A schema is an ordered tuple of distinct field names.  Order matters for
+tuple layout and for merge joins (sortedness is declared per field order);
+name lookup is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An ordered collection of distinct field names.
+
+    Parameters
+    ----------
+    fields:
+        Iterable of field-name strings.  Names must be non-empty, unique,
+        and valid Python identifiers (they become variable names in
+        generated code).
+    """
+
+    __slots__ = ("_fields", "_index")
+
+    def __init__(self, fields: Iterable[str]):
+        fs = tuple(fields)
+        if not fs:
+            raise SchemaError("schema must have at least one field")
+        for f in fs:
+            if not isinstance(f, str) or not f.isidentifier():
+                raise SchemaError(f"field name {f!r} is not a valid identifier")
+        if len(set(fs)) != len(fs):
+            raise SchemaError(f"duplicate field names in {fs}")
+        self._fields = fs
+        self._index = {f: i for i, f in enumerate(fs)}
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """The field names in declaration order."""
+        return self._fields
+
+    def position(self, field: str) -> int:
+        """Return the 0-based position of ``field``.
+
+        Raises :class:`~repro.errors.SchemaError` if absent.
+        """
+        try:
+            return self._index[field]
+        except KeyError:
+            raise SchemaError(f"field {field!r} not in schema {self._fields}") from None
+
+    def __contains__(self, field: object) -> bool:
+        return field in self._index
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._fields == other._fields
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._fields)!r})"
+
+    def common(self, other: "Schema") -> tuple[str, ...]:
+        """Fields present in both schemas, in *this* schema's order."""
+        return tuple(f for f in self._fields if f in other)
+
+    def renamed(self, mapping: dict[str, str]) -> "Schema":
+        """A new schema with fields renamed via ``mapping`` (others kept)."""
+        return Schema(mapping.get(f, f) for f in self._fields)
+
+    def project(self, fields: Sequence[str]) -> "Schema":
+        """A new schema with only ``fields``, in the given order."""
+        for f in fields:
+            if f not in self:
+                raise SchemaError(f"cannot project on absent field {f!r}")
+        return Schema(fields)

@@ -1,0 +1,162 @@
+"""Inspector/executor machinery (paper Sec. 3.2.3 and Sec. 4).
+
+The *inspector* turns the communication-set queries
+
+    Used^(p)(j)    = π_j ( σ_NZ(A^(p)) A^(p) ⋈ Y^(p) )          (Eq. 21)
+    RecvInd^(p)    = Used^(p) ⋈ IND(j, q, j')                    (Eq. 22)
+
+into a :class:`GatherSchedule`: who sends me which of their local x
+values, and into which ghost slot each lands.  The join with IND is where
+distribution structure pays off:
+
+* **replicated IND** (:func:`build_schedule_replicated`) — ownership is a
+  local computation; one all-to-all of requests suffices,
+* **distributed IND** (:func:`build_schedule_translated`, the Chaos path)
+  — Eq. 22 itself becomes a distributed query: the dereference costs two
+  extra all-to-all rounds against the translation table (the paper's
+  "evaluation of the query (22) might itself require communication").
+
+The *executor* step (:func:`exchange`) ships the actual values each
+iteration.
+
+All three are SPMD generator subroutines (``yield from`` them inside a
+rank program).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distribution.base import Distribution
+from repro.distribution.translation import DistributedTranslationTable, dereference
+from repro.errors import InspectorError
+
+__all__ = [
+    "GatherSchedule",
+    "build_schedule_replicated",
+    "build_schedule_translated",
+    "exchange",
+]
+
+
+@dataclass
+class GatherSchedule:
+    """A materialized communication schedule for gathering ghost values.
+
+    ``ghost_global[g]`` is the global index whose value lands in ghost
+    slot g.  ``send_locals[q]`` are *my* local offsets to pack for rank q;
+    ``recv_slots[q]`` are the ghost slots filled by rank q's packet, in
+    packet order.
+    """
+
+    rank: int
+    nprocs: int
+    ghost_global: np.ndarray
+    send_locals: dict[int, np.ndarray] = field(default_factory=dict)
+    recv_slots: dict[int, np.ndarray] = field(default_factory=dict)
+    #: ghost slots resolved locally (self-owned requests), and their local offsets
+    self_slots: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    self_locals: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def nghost(self) -> int:
+        return len(self.ghost_global)
+
+    def ghost_slot_of(self, global_idx) -> np.ndarray:
+        """Ghost slot of each (requested) global index; -1 if absent."""
+        g = np.asarray(global_idx)
+        pos = np.searchsorted(self.ghost_global, g)
+        pos = np.clip(pos, 0, max(0, self.nghost - 1))
+        ok = (self.nghost > 0) & (self.ghost_global[pos] == g)
+        return np.where(ok, pos, -1)
+
+
+def _group_requests(owners: np.ndarray, payload_builder):
+    send = {}
+    for q in np.unique(owners):
+        mask = owners == q
+        send[int(q)] = payload_builder(mask)
+    return send
+
+
+def build_schedule_replicated(rank: int, dist: Distribution, needed_global):
+    """Inspector against a *replicated* distribution relation.
+
+    Ownership (the ⋈ IND of Eq. 22) is a local lookup; one all-to-all
+    carries the requests.  ``yield from`` this inside a rank program.
+    """
+    needed = np.unique(np.asarray(needed_global, dtype=np.int64))
+    owners = dist.owner(needed) if len(needed) else np.empty(0, dtype=np.int64)
+    sched = GatherSchedule(rank, dist.nprocs, needed)
+    self_mask = owners == rank
+    sched.self_slots = np.flatnonzero(self_mask)
+    sched.self_locals = (
+        np.asarray(dist.local_index(needed[self_mask]), dtype=np.int64)
+        if self_mask.any()
+        else np.empty(0, dtype=np.int64)
+    )
+    remote = ~self_mask
+    send = {}
+    slots = {}
+    for q in np.unique(owners[remote]):
+        mask = (owners == q) & remote
+        # send LOCAL offsets: the owner packs directly, no translation there
+        send[int(q)] = np.asarray(dist.local_index(needed[mask]), dtype=np.int64)
+        slots[int(q)] = np.flatnonzero(mask)
+    recv = yield ("alltoallv", send)
+    for src, loc in recv.items():
+        sched.send_locals[src] = np.asarray(loc, dtype=np.int64)
+    sched.recv_slots = slots
+    return sched
+
+
+def build_schedule_translated(
+    rank: int, table: DistributedTranslationTable, needed_global
+):
+    """Inspector against a *distributed* (Chaos) translation table.
+
+    Eq. 22 becomes a distributed query: dereference every needed index
+    through the table (two all-to-alls), then ship the requests (a third).
+    """
+    needed = np.unique(np.asarray(needed_global, dtype=np.int64))
+    owners, locals_ = yield from dereference(table, needed)
+    sched = GatherSchedule(rank, table.nprocs, needed)
+    self_mask = owners == rank
+    sched.self_slots = np.flatnonzero(self_mask)
+    sched.self_locals = locals_[self_mask]
+    send = {}
+    slots = {}
+    remote = ~self_mask
+    for q in np.unique(owners[remote]):
+        mask = (owners == q) & remote
+        send[int(q)] = locals_[mask]
+        slots[int(q)] = np.flatnonzero(mask)
+    recv = yield ("alltoallv", send)
+    for src, loc in recv.items():
+        sched.send_locals[src] = np.asarray(loc, dtype=np.int64)
+    sched.recv_slots = slots
+    return sched
+
+
+def exchange(sched: GatherSchedule, xlocal: np.ndarray):
+    """Executor communication: gather ghost values per the schedule.
+
+    Returns the ghost array (aligned with ``sched.ghost_global``).
+    ``yield from`` this once per executor iteration.
+    """
+    xlocal = np.asarray(xlocal)
+    send = {q: xlocal[loc] for q, loc in sched.send_locals.items()}
+    recv = yield ("alltoallv", send)
+    ghost = np.zeros(sched.nghost)
+    if len(sched.self_slots):
+        ghost[sched.self_slots] = xlocal[sched.self_locals]
+    for src, vals in recv.items():
+        slots = sched.recv_slots.get(src)
+        if slots is None or len(slots) != len(vals):
+            raise InspectorError(
+                f"rank {sched.rank}: packet from {src} does not match schedule"
+            )
+        ghost[slots] = vals
+    return ghost

@@ -1,0 +1,229 @@
+"""The BSP machine: lockstep execution of SPMD rank programs.
+
+A *rank program* is a Python generator.  It computes locally, and whenever
+it needs communication it yields a collective request::
+
+    recv = yield ("alltoallv", {dest: payload, ...})   # -> {src: payload}
+    total = yield ("allreduce", local_value)            # -> sum over ranks
+    vals = yield ("allgather", local_value)             # -> [v0, v1, ...]
+    _ = yield ("barrier", None)
+    _ = yield ("phase", "executor")                     # named timing mark
+
+The machine advances all ranks to their next yield, checks they agree on
+the collective (SPMD discipline), routes the data, and resumes them.  Per
+rank, wall-clock compute time between collectives is measured; per
+collective, messages and bytes are counted.  ``RunStats`` aggregates both
+and converts them into an estimated parallel time under an α–β
+:class:`CommModel`.
+
+Helper subroutines compose with ``result = yield from helper(...)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable
+
+import numpy as np
+
+from repro.errors import RuntimeMachineError
+
+__all__ = ["CommModel", "PhaseStats", "RunStats", "Machine", "payload_nbytes"]
+
+
+def payload_nbytes(obj) -> int:
+    """Approximate wire size of a payload (numpy-aware)."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (bytes, bytearray, str)):
+        return len(obj)
+    return 64  # opaque object: flat estimate
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """α–β communication cost: per-message latency + per-byte transfer.
+
+    Defaults approximate the paper's IBM SP-2 (≈40 µs latency, ≈40 MB/s).
+    """
+
+    latency: float = 40e-6
+    inv_bandwidth: float = 25e-9
+
+    def time(self, msgs: int, nbytes: int) -> float:
+        return msgs * self.latency + nbytes * self.inv_bandwidth
+
+
+@dataclass
+class PhaseStats:
+    """One superstep: per-rank compute seconds and traffic counts."""
+
+    kind: str
+    label: str | None
+    compute: np.ndarray  # seconds per rank since the previous superstep
+    msgs: np.ndarray  # messages sent per rank
+    nbytes: np.ndarray  # bytes sent per rank
+
+    def step_time(self, model: CommModel) -> float:
+        """Estimated parallel duration of this superstep: slowest rank's
+        compute plus its modeled communication."""
+        comm = self.msgs * model.latency + self.nbytes * model.inv_bandwidth
+        return float(np.max(self.compute + comm))
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics of one ``Machine.run``."""
+
+    nprocs: int
+    phases: list[PhaseStats] = field(default_factory=list)
+
+    def total_compute(self) -> np.ndarray:
+        """Per-rank compute seconds over the whole run."""
+        if not self.phases:
+            return np.zeros(self.nprocs)
+        return np.sum([p.compute for p in self.phases], axis=0)
+
+    def total_msgs(self) -> int:
+        return int(sum(p.msgs.sum() for p in self.phases))
+
+    def total_nbytes(self) -> int:
+        return int(sum(p.nbytes.sum() for p in self.phases))
+
+    def parallel_time(self, model: CommModel | None = None) -> float:
+        """Estimated wall time: Σ over supersteps of the slowest rank."""
+        model = model or CommModel()
+        return sum(p.step_time(model) for p in self.phases)
+
+    def window(self, label: str) -> "RunStats":
+        """The sub-run between consecutive ``("phase", label)`` markers
+        named ``label`` and the next phase marker (or end of run)."""
+        out = RunStats(self.nprocs)
+        active = False
+        for p in self.phases:
+            if p.kind == "phase":
+                active = p.label == label
+                continue
+            if active:
+                out.phases.append(p)
+        return out
+
+
+class Machine:
+    """A simulated P-processor message-passing machine."""
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise RuntimeMachineError("need at least one processor")
+        self.nprocs = int(nprocs)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        make_program: Callable[[int], Generator],
+        collect_stats: bool = True,
+    ) -> tuple[list, RunStats]:
+        """Run one rank program per processor to completion.
+
+        ``make_program(p)`` builds rank p's generator.  Returns each
+        rank's return value and the run statistics.  All ranks must issue
+        the same sequence of collectives (checked) — the SPMD contract.
+        """
+        P = self.nprocs
+        gens = [make_program(p) for p in range(P)]
+        inbox: list = [None] * P
+        done = [False] * P
+        results: list = [None] * P
+        stats = RunStats(P)
+
+        while not all(done):
+            requests: list = [None] * P
+            compute = np.zeros(P)
+            for p in range(P):
+                if done[p]:
+                    continue
+                t0 = time.perf_counter()
+                try:
+                    requests[p] = gens[p].send(inbox[p])
+                except StopIteration as stop:
+                    results[p] = stop.value
+                    done[p] = True
+                compute[p] = time.perf_counter() - t0
+                inbox[p] = None
+            if all(done):
+                if collect_stats:
+                    stats.phases.append(
+                        PhaseStats("finish", None, compute, np.zeros(P, np.int64), np.zeros(P, np.int64))
+                    )
+                break
+            alive = [p for p in range(P) if not done[p]]
+            if any(done[p] for p in range(P)):
+                raise RuntimeMachineError(
+                    "SPMD violation: some ranks finished while others are "
+                    "still communicating"
+                )
+            kinds = {requests[p][0] for p in alive}
+            if len(kinds) != 1:
+                raise RuntimeMachineError(
+                    f"SPMD violation: mismatched collectives {sorted(kinds)}"
+                )
+            kind = kinds.pop()
+            msgs = np.zeros(P, dtype=np.int64)
+            nbytes = np.zeros(P, dtype=np.int64)
+            label = None
+
+            if kind == "alltoallv":
+                recv: list[dict] = [dict() for _ in range(P)]
+                for p in alive:
+                    send = requests[p][1] or {}
+                    for q, payload in send.items():
+                        if not (0 <= q < P):
+                            raise RuntimeMachineError(f"bad destination {q}")
+                        recv[q][p] = payload
+                        if q != p:
+                            msgs[p] += 1
+                            nbytes[p] += payload_nbytes(payload)
+                for p in alive:
+                    inbox[p] = recv[p]
+            elif kind == "allreduce":
+                vals = [requests[p][1] for p in alive]
+                total = vals[0]
+                for v in vals[1:]:
+                    total = total + v
+                for p in alive:
+                    inbox[p] = total
+                    msgs[p] += 1
+                    nbytes[p] += payload_nbytes(requests[p][1])
+            elif kind == "allgather":
+                gathered = [requests[p][1] for p in alive]
+                for p in alive:
+                    inbox[p] = list(gathered)
+                    msgs[p] += P - 1
+                    nbytes[p] += payload_nbytes(requests[p][1]) * (P - 1)
+            elif kind == "barrier":
+                for p in alive:
+                    inbox[p] = None
+            elif kind == "phase":
+                labels = {requests[p][1] for p in alive}
+                if len(labels) != 1:
+                    raise RuntimeMachineError(
+                        f"SPMD violation: mismatched phase labels {labels}"
+                    )
+                label = labels.pop()
+                for p in alive:
+                    inbox[p] = None
+            else:
+                raise RuntimeMachineError(f"unknown collective {kind!r}")
+
+            if collect_stats:
+                stats.phases.append(PhaseStats(kind, label, compute, msgs, nbytes))
+        return results, stats

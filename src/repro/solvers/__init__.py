@@ -1,0 +1,31 @@
+"""Iterative solvers built on the compiled sparse kernels.
+
+The paper's driving application (Sec. 4): a parallel Conjugate Gradient
+solver with diagonal (Jacobi) preconditioning.  Provided here:
+
+* :func:`~repro.solvers.cg.cg` — sequential preconditioned CG over any
+  matrix format (SpMV through the compiler),
+* :func:`~repro.solvers.cg.parallel_cg` — the SPMD version on the
+  simulated machine, parameterized by the executor strategy
+  (``blocksolve`` / ``mixed`` / ``global``),
+* :func:`~repro.solvers.jacobi.jacobi` — plain Jacobi iteration,
+* :func:`~repro.solvers.power.power_iteration` — dominant eigenpair
+  (an extra consumer of the compiled SpMV).
+"""
+
+from repro.solvers.cg import CGResult, cg, parallel_cg
+from repro.solvers.ilu import ilu0, ilu_preconditioned_cg, solve_lower, solve_upper
+from repro.solvers.jacobi import jacobi
+from repro.solvers.power import power_iteration
+
+__all__ = [
+    "cg",
+    "parallel_cg",
+    "CGResult",
+    "jacobi",
+    "power_iteration",
+    "ilu0",
+    "solve_lower",
+    "solve_upper",
+    "ilu_preconditioned_cg",
+]

@@ -1,0 +1,55 @@
+"""CompiledKernel.bind(): the prebound fast path used by executors."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.errors import CompileError
+from repro.formats import COOMatrix, CRSMatrix, DenseVector
+from repro.kernels.spmv import SPMV_SRC
+
+
+def make():
+    coo = COOMatrix.random(10, 10, 0.4, rng=0)
+    A = CRSMatrix.from_coo(coo)
+    X = DenseVector(np.ones(10))
+    Y = DenseVector.zeros(10)
+    return coo, A, X, Y
+
+
+def test_bound_call_matches_keyword_call():
+    coo, A, X, Y = make()
+    k = compile_kernel(SPMV_SRC, {"A": A, "X": X, "Y": Y}, cache=False)
+    run = k.bind(A=A, X=X, Y=Y)
+    run()
+    want = coo.to_dense() @ X.vals
+    assert np.allclose(Y.vals, want)
+    run()  # accumulates again
+    assert np.allclose(Y.vals, 2 * want)
+
+
+def test_bound_call_sees_buffer_mutations():
+    coo, A, X, Y = make()
+    k = compile_kernel(SPMV_SRC, {"A": A, "X": X, "Y": Y}, cache=False)
+    run = k.bind(A=A, X=X, Y=Y)
+    X.vals[:] = 3.0  # mutate the bound buffer between calls
+    run()
+    assert np.allclose(Y.vals, coo.to_dense() @ (3.0 * np.ones(10)))
+
+
+def test_bind_validates_like_call():
+    _, A, X, Y = make()
+    k = compile_kernel(SPMV_SRC, {"A": A, "X": X, "Y": Y}, cache=False)
+    with pytest.raises(CompileError):
+        k.bind(A=A, X=X)  # missing Y
+    with pytest.raises(CompileError):
+        k.bind(A=A, X=DenseVector(np.ones(4)), Y=Y)  # extent mismatch
+
+
+def test_bind_with_scalars():
+    x = np.arange(6.0)
+    X, Y = DenseVector(x), DenseVector(np.zeros(6))
+    k = compile_kernel("for i in 0:n { Y[i] += alpha * X[i] }", {"X": X, "Y": Y}, cache=False)
+    run = k.bind(X=X, Y=Y, alpha=2.5)
+    run()
+    assert np.allclose(Y.vals, 2.5 * x)

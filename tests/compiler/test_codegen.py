@@ -1,0 +1,186 @@
+"""Code-generation golden tests: the emitted source has the expected shape
+per backend, and the backends agree numerically on awkward inputs."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.compiler.kernels import clear_kernel_cache
+from repro.formats import (
+    BlockDiagonalMatrix,
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    DenseVector,
+    DiagonalMatrix,
+    ELLMatrix,
+    InodeMatrix,
+    TranslatedVector,
+)
+from repro.kernels.spmv import SPMV_SRC
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_kernel_cache()
+
+
+def source_for(A, src=SPMV_SRC, X=None, vectorize=True):
+    n, m = A.shape
+    X = X if X is not None else DenseVector(np.ones(m))
+    Y = DenseVector.zeros(n)
+    return compile_kernel(src, {"A": A, "X": X, "Y": Y}, vectorize=vectorize, cache=False).source
+
+
+def test_crs_uses_segmented_reduceat():
+    A = CRSMatrix.from_coo(COOMatrix.random(10, 10, 0.3, rng=0))
+    s = source_for(A)
+    assert "np.add.reduceat" in s
+    assert "for " not in s  # fully loopless
+
+
+def test_ell_uses_2d_sum():
+    A = ELLMatrix.from_coo(COOMatrix.random(10, 10, 0.3, rng=0))
+    s = source_for(A)
+    assert ".sum(axis=1)" in s
+    assert "for " not in s
+
+
+def test_ccs_uses_fancy_scatter():
+    A = CCSMatrix.from_coo(COOMatrix.random(10, 10, 0.3, rng=0))
+    s = source_for(A)
+    assert "Y_vals[A_rowind[" in s
+    assert "np.add.at" not in s  # rows unique within a column
+
+
+def test_diagonal_uses_affine_slices():
+    A = DiagonalMatrix.from_coo(COOMatrix.random(10, 10, 0.3, rng=0))
+    s = source_for(A)
+    assert "A_offsets" in s and "+=" in s
+    assert "np.add.at" not in s  # affine scatter
+
+
+def test_inode_uses_block_gemv():
+    A = InodeMatrix.from_coo(COOMatrix.random(10, 10, 0.4, rng=0))
+    s = source_for(A)
+    assert ".reshape(" in s and "@" in s
+
+
+def test_blockdiag_uses_block_gemv():
+    dense = np.zeros((6, 6))
+    dense[:3, :3] = np.arange(9).reshape(3, 3) + 1
+    dense[3:, 3:] = np.eye(3)
+    A = BlockDiagonalMatrix.from_coo_blocks(COOMatrix.from_dense(dense), [0, 3, 6])
+    s = source_for(A)
+    assert "@" in s and ".reshape(" in s
+
+
+def test_scalar_backend_has_plain_loops():
+    A = CRSMatrix.from_coo(COOMatrix.random(10, 10, 0.3, rng=0))
+    s = source_for(A, vectorize=False)
+    assert "np.add.reduceat" not in s and "np.dot" not in s
+    assert s.count("for ") == 2
+
+
+def test_translated_vector_double_gather():
+    coo = COOMatrix.random(10, 10, 0.3, rng=0)
+    A = CRSMatrix.from_coo(coo)
+    buf = np.arange(10, dtype=float)
+    tv = TranslatedVector(10, buf, np.arange(10)[::-1].copy())
+    s = source_for(A, X=tv)
+    assert "X_vals[X_map[" in s  # the extra level of indirection
+
+
+def test_translated_vector_numerics():
+    coo = COOMatrix.random(12, 12, 0.4, rng=1)
+    A = CRSMatrix.from_coo(coo)
+    rng = np.random.default_rng(2)
+    perm = rng.permutation(12)
+    buf = rng.standard_normal(12)
+    tv = TranslatedVector(12, buf, perm)
+    Y = DenseVector.zeros(12)
+    k = compile_kernel(SPMV_SRC, {"A": A, "X": tv, "Y": Y}, cache=False)
+    k(A=A, X=tv, Y=Y)
+    assert np.allclose(Y.vals, coo.to_dense() @ buf[perm])
+
+
+def test_translated_vector_scalar_path():
+    coo = COOMatrix.random(12, 12, 0.4, rng=1)
+    A = CRSMatrix.from_coo(coo)
+    rng = np.random.default_rng(2)
+    perm = rng.permutation(12)
+    buf = rng.standard_normal(12)
+    tv = TranslatedVector(12, buf, perm)
+    Y = DenseVector.zeros(12)
+    k = compile_kernel(SPMV_SRC, {"A": A, "X": tv, "Y": Y}, vectorize=False, cache=False)
+    k(A=A, X=tv, Y=Y)
+    assert np.allclose(Y.vals, coo.to_dense() @ buf[perm])
+
+
+def test_segmented_with_row_factor():
+    """y[i] += d[i] * A[i,j] * x[j]: the per-row factor multiplies the
+    reduced segment sums, not the flat product."""
+    coo = COOMatrix.random(10, 10, 0.4, rng=3)
+    A = CRSMatrix.from_coo(coo)
+    rng = np.random.default_rng(4)
+    d, x = rng.standard_normal(10), rng.standard_normal(10)
+    src = "for i in 0:n { for j in 0:n { Y[i] += D[i] * A[i,j] * X[j] } }"
+    for vec in (True, False):
+        Y = DenseVector.zeros(10)
+        k = compile_kernel(
+            src, {"A": A, "D": DenseVector(d), "X": DenseVector(x), "Y": Y},
+            vectorize=vec, cache=False,
+        )
+        k(A=A, D=DenseVector(d), X=DenseVector(x), Y=Y)
+        assert np.allclose(Y.vals, d * (coo.to_dense() @ x)), k.source
+
+
+def test_segmented_with_scalar_and_division():
+    coo = COOMatrix.random(10, 10, 0.4, rng=5)
+    A = CRSMatrix.from_coo(coo)
+    rng = np.random.default_rng(6)
+    d = np.abs(rng.standard_normal(10)) + 1
+    x = rng.standard_normal(10)
+    src = "for i in 0:n { for j in 0:n { Y[i] += 2 * A[i,j] * X[j] / D[i] } }"
+    Y = DenseVector.zeros(10)
+    fm = {"A": A, "D": DenseVector(d), "X": DenseVector(x), "Y": Y}
+    k = compile_kernel(src, fm, cache=False)
+    k(**fm)
+    assert np.allclose(Y.vals, 2 * (coo.to_dense() @ x) / d), k.source
+
+
+def test_block_with_row_and_col_factors():
+    coo = COOMatrix.random(9, 9, 0.5, rng=7)
+    A = InodeMatrix.from_coo(coo)
+    rng = np.random.default_rng(8)
+    d, z, x = rng.standard_normal(9), rng.standard_normal(9) + 2, rng.standard_normal(9)
+    src = "for i in 0:n { for j in 0:n { Y[i] += D[i] * A[i,j] * X[j] / Z[j] } }"
+    for vec in (True, False):
+        Y = DenseVector.zeros(9)
+        fm = {"A": A, "D": DenseVector(d), "X": DenseVector(x), "Z": DenseVector(z), "Y": Y}
+        k = compile_kernel(src, fm, vectorize=vec, cache=False)
+        k(**fm)
+        want = d * (coo.to_dense() @ (x / z))
+        assert np.allclose(Y.vals, want), k.source
+
+
+def test_negated_statement():
+    coo = COOMatrix.random(8, 8, 0.4, rng=9)
+    A = CRSMatrix.from_coo(coo)
+    x = np.arange(8, dtype=float)
+    src = "for i in 0:n { for j in 0:n { Y[i] += -(A[i,j] * X[j]) } }"
+    for vec in (True, False):
+        Y = DenseVector.zeros(8)
+        k = compile_kernel(src, {"A": A, "X": DenseVector(x), "Y": Y}, vectorize=vec, cache=False)
+        k(A=A, X=DenseVector(x), Y=Y)
+        assert np.allclose(Y.vals, -(coo.to_dense() @ x)), k.source
+
+
+def test_empty_matrix_all_backends():
+    empty = COOMatrix((5, 5), [], [], [])
+    for fmt in (CRSMatrix, CCSMatrix, ELLMatrix, DiagonalMatrix, InodeMatrix):
+        A = fmt.from_coo(empty)
+        Y = DenseVector.zeros(5)
+        k = compile_kernel(SPMV_SRC, {"A": A, "X": DenseVector(np.ones(5)), "Y": Y}, cache=False)
+        k(A=A, X=DenseVector(np.ones(5)), Y=Y)
+        assert np.allclose(Y.vals, 0.0)

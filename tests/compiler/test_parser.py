@@ -1,0 +1,124 @@
+"""Parser and AST tests."""
+
+import pytest
+
+from repro.compiler import parse
+from repro.compiler.ast_nodes import (
+    Assign,
+    BinOp,
+    LoopSpec,
+    Neg,
+    Num,
+    Program,
+    Ref,
+    Scalar,
+    normalize_statement,
+)
+from repro.compiler.parser import tokenize
+from repro.errors import ParseError
+
+SPMV = "for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }"
+
+
+def test_tokenize():
+    assert tokenize("Y[i] += 2.5 * X[j]") == ["Y", "[", "i", "]", "+=", "2.5", "*", "X", "[", "j", "]"]
+
+
+def test_tokenize_comments_and_ws():
+    assert tokenize("a # comment\n b") == ["a", "b"]
+
+
+def test_tokenize_bad_char():
+    with pytest.raises(ParseError):
+        tokenize("a @ b")
+
+
+def test_parse_spmv():
+    p = parse(SPMV)
+    assert p.loops == (LoopSpec("i", "0", "n"), LoopSpec("j", "0", "n"))
+    [stmt] = p.body
+    assert stmt.target == Ref("Y", ("i",))
+    assert stmt.reduce
+    assert stmt.expr == BinOp("*", Ref("A", ("i", "j")), Ref("X", ("j",)))
+
+
+def test_parse_numeric_bounds():
+    p = parse("for i in 0:10 { Y[i] = X[i] }")
+    assert p.loops[0].hi == "10"
+
+
+def test_parse_precedence():
+    p = parse("for i in 0:n { Y[i] += A[i] + B[i] * C[i] }")
+    e = p.body[0].expr
+    assert e.op == "+" and isinstance(e.right, BinOp) and e.right.op == "*"
+
+
+def test_parse_parens_and_neg():
+    p = parse("for i in 0:n { Y[i] += -(A[i] + B[i]) * 2 }")
+    e = p.body[0].expr
+    assert e.op == "*" and isinstance(e.left, Neg)
+
+
+def test_parse_scalar_and_number():
+    p = parse("for i in 0:n { Y[i] += alpha * X[i] + 1.5 }")
+    assert Scalar("alpha") in (p.body[0].expr.left.left, p.body[0].expr.left.right)
+    assert p.scalar_names() == {"alpha", "n"}
+
+
+def test_parse_multiple_statements():
+    p = parse("for i in 0:n { Y[i] += X[i]; Z[i] += X[i] }")
+    assert len(p.body) == 2
+    assert p.arrays() == {"X", "Y", "Z"}
+
+
+def test_parse_matrix_ref():
+    p = parse("for i in 0:n { for j in 0:m { Z[i,j] = A[i,j] } }")
+    assert p.body[0].target == Ref("Z", ("i", "j"))
+
+
+def test_parse_unbound_index_rejected():
+    with pytest.raises(ParseError):
+        parse("for i in 0:n { Y[i] += X[j] }")
+
+
+def test_parse_duplicate_loop_vars_rejected():
+    with pytest.raises(ParseError):
+        parse("for i in 0:n { for i in 0:n { Y[i] += X[i] } }")
+
+
+def test_parse_trailing_tokens_rejected():
+    with pytest.raises(ParseError):
+        parse(SPMV + " zzz")
+
+
+def test_parse_requires_for():
+    with pytest.raises(ParseError):
+        parse("Y[i] += X[i]")
+
+
+def test_parse_bad_assign_op():
+    with pytest.raises(ParseError):
+        parse("for i in 0:n { Y[i] *= X[i] }")
+
+
+def test_normalize_self_addition_to_reduce():
+    # the paper writes SpMV as Y(i) = Y(i) + A(i,j)*X(j)
+    p = parse("for i in 0:n { for j in 0:n { Y[i] = Y[i] + A[i,j] * X[j] } }")
+    assert p.body[0].reduce
+    assert p.body[0].expr == BinOp("*", Ref("A", ("i", "j")), Ref("X", ("j",)))
+
+
+def test_normalize_rejects_self_read_assignment():
+    with pytest.raises(ParseError):
+        parse("for i in 0:n { Y[i] = Y[i] * 2 }")
+
+
+def test_ref_requires_indices():
+    with pytest.raises(ParseError):
+        Ref("A", ())
+
+
+def test_program_repr_roundtrippish():
+    p = parse(SPMV)
+    assert "for i in 0:n" in repr(p)
+    assert "Y[i] += " in repr(p)

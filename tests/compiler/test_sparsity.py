@@ -1,0 +1,112 @@
+"""Sparsity analysis: predicates, distribution and statement splitting."""
+
+import pytest
+
+from repro.compiler import parse
+from repro.compiler.ast_nodes import Assign, BinOp, Ref
+from repro.compiler.sparsity import distribute, sparsity_predicate, split_statement
+from repro.errors import SparsityError
+from repro.relational.predicates import NZ, TruePred, conj, disj, to_dnf
+
+
+def stmt_of(src):
+    return parse(src).body[0]
+
+
+def test_spmv_predicate_eq3():
+    """Paper Eq. 3: P = NZ(A(i,j)) ∧ NZ(X(j))."""
+    s = stmt_of("for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }")
+    p = sparsity_predicate(s.expr, {"A", "X"})
+    assert p == conj(NZ("A", ("i", "j")), NZ("X", ("j",)))
+
+
+def test_dense_x_drops_literal():
+    s = stmt_of("for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }")
+    p = sparsity_predicate(s.expr, {"A"})
+    assert p == NZ("A", ("i", "j"))
+
+
+def test_sum_gives_disjunction():
+    s = stmt_of("for i in 0:n { Y[i] += A[i] + B[i] }")
+    p = sparsity_predicate(s.expr, {"A", "B"})
+    assert p == disj(NZ("A", ("i",)), NZ("B", ("i",)))
+
+
+def test_scalar_is_dense():
+    s = stmt_of("for i in 0:n { Y[i] += alpha * A[i] }")
+    p = sparsity_predicate(s.expr, {"A"})
+    assert p == NZ("A", ("i",))
+
+
+def test_zero_literal_is_false():
+    s = stmt_of("for i in 0:n { Y[i] += 0 * A[i] }")
+    p = sparsity_predicate(s.expr, {"A"})
+    assert to_dnf(p) == []
+
+
+def test_nonzero_literal_alone_is_true():
+    s = stmt_of("for i in 0:n { Y[i] += 2.0 }")
+    assert sparsity_predicate(s.expr, set()) == TruePred()
+
+
+def test_sparse_denominator_rejected():
+    s = stmt_of("for i in 0:n { Y[i] += A[i] / B[i] }")
+    with pytest.raises(SparsityError):
+        sparsity_predicate(s.expr, {"A", "B"})
+
+
+def test_dense_denominator_ok():
+    s = stmt_of("for i in 0:n { Y[i] += A[i] / D[i] }")
+    p = sparsity_predicate(s.expr, {"A"})
+    assert p == NZ("A", ("i",))
+
+
+def test_distribute_product_over_sum():
+    s = stmt_of("for i in 0:n { Y[i] += (A[i] + B[i]) * X[i] }")
+    d = distribute(s.expr)
+    # A*X + B*X
+    assert isinstance(d, BinOp) and d.op == "+"
+    assert d.left == BinOp("*", Ref("A", ("i",)), Ref("X", ("i",)))
+    assert d.right == BinOp("*", Ref("B", ("i",)), Ref("X", ("i",)))
+
+
+def test_distribute_quotient_numerator():
+    s = stmt_of("for i in 0:n { Y[i] += (A[i] + B[i]) / D[i] }")
+    d = distribute(s.expr)
+    assert isinstance(d, BinOp) and d.op == "+"
+    assert d.left.op == "/" and d.right.op == "/"
+
+
+def test_split_simple_product_unchanged():
+    s = stmt_of("for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }")
+    assert split_statement(s) == [s]
+
+
+def test_split_additive():
+    s = stmt_of("for i in 0:n { Y[i] += A[i] + B[i] }")
+    parts = split_statement(s)
+    assert len(parts) == 2
+    assert all(p.reduce for p in parts)
+    assert parts[0].expr == Ref("A", ("i",))
+    assert parts[1].expr == Ref("B", ("i",))
+
+
+def test_split_preserves_signs():
+    s = stmt_of("for i in 0:n { Y[i] += A[i] - B[i] }")
+    parts = split_statement(s)
+    assert len(parts) == 2
+    assert repr(parts[1].expr).startswith("(-")
+
+
+def test_split_assignment_keeps_first_plain():
+    s = stmt_of("for i in 0:n { Y[i] = A[i] + B[i] }")
+    parts = split_statement(s)
+    assert not parts[0].reduce and parts[1].reduce
+
+
+def test_split_after_distribution_conjunctive():
+    """Each split piece must carry a conjunctive predicate."""
+    s = stmt_of("for i in 0:n { Y[i] += (A[i] + B[i]) * X[i] }")
+    for piece in split_statement(s):
+        p = sparsity_predicate(piece.expr, {"A", "B", "X"})
+        assert len(to_dnf(p)) == 1

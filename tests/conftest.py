@@ -1,0 +1,70 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix
+
+
+@pytest.fixture
+def paper_matrix() -> COOMatrix:
+    """The 6x6 example matrix of paper Fig. 1(a).
+
+    Columns 0 and 4 are nonempty exactly as drawn; values 1..6 follow the
+    storage illustration (column-major within the matrix).
+    """
+    dense = np.array(
+        [
+            [1.0, 0, 0, 0, 5.0, 0],
+            [0, 3.0, 0, 0, 0, 0],
+            [2.0, 0, 0, 0, 0, 0],
+            [0, 0, 0, 4.0, 0, 0],
+            [0, 0, 0, 0, 6.0, 0],
+            [0, 0, 0, 0, 0, 0],
+        ]
+    )
+    return COOMatrix.from_dense(dense)
+
+
+def coo_matrices(max_n: int = 12, max_m: int = 12, allow_empty: bool = True):
+    """Hypothesis strategy generating canonical COO matrices."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(1, max_n))
+        m = draw(st.integers(1, max_m))
+        max_entries = min(40, n * m)
+        k = draw(st.integers(0 if allow_empty else 1, max_entries))
+        coords = draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, m - 1)),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        vals = draw(
+            st.lists(
+                st.floats(-100, 100, allow_nan=False).filter(lambda v: abs(v) > 1e-9),
+                min_size=len(coords),
+                max_size=len(coords),
+            )
+        )
+        r = [c[0] for c in coords]
+        c = [c[1] for c in coords]
+        return COOMatrix.from_entries((n, m), r, c, vals)
+
+    return build()
+
+
+def square_coo_matrices(max_n: int = 10):
+    """Square canonical COO matrices (for graph/BS95/solver tests)."""
+
+    @st.composite
+    def build(draw):
+        coo = draw(coo_matrices(max_n, max_n))
+        n = max(coo.shape)
+        return COOMatrix.from_entries((n, n), coo.row, coo.col, coo.vals)
+
+    return build()

@@ -1,0 +1,98 @@
+"""Tests for BlockDiagonal, BlockSolve and the structural analysis pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import FormatError
+from repro.formats import BlockDiagonalMatrix, BlockSolveMatrix, COOMatrix
+from repro.matrices.fem import fem_matrix
+from tests.conftest import square_coo_matrices
+
+
+def test_blockdiag_roundtrip():
+    dense = np.zeros((5, 5))
+    dense[:2, :2] = [[1.0, 2.0], [3.0, 4.0]]
+    dense[2:, 2:] = np.arange(1, 10).reshape(3, 3)
+    bd = BlockDiagonalMatrix.from_coo_blocks(COOMatrix.from_dense(dense), [0, 2, 5])
+    assert bd.nblocks == 2
+    assert np.allclose(bd.to_dense(), dense)
+
+
+def test_blockdiag_ignores_offblock_entries():
+    dense = np.eye(4)
+    dense[0, 3] = 9.0  # crosses the block boundary
+    bd = BlockDiagonalMatrix.from_coo_blocks(COOMatrix.from_dense(dense), [0, 2, 4])
+    assert bd.to_dense()[0, 3] == 0.0
+
+
+def test_blockdiag_matvec_matches_dense():
+    rng = np.random.default_rng(0)
+    dense = np.zeros((7, 7))
+    ptr = [0, 3, 5, 7]
+    for b in range(3):
+        s, e = ptr[b], ptr[b + 1]
+        dense[s:e, s:e] = rng.standard_normal((e - s, e - s))
+    bd = BlockDiagonalMatrix.from_coo_blocks(COOMatrix.from_dense(dense), ptr)
+    x = rng.standard_normal(7)
+    assert np.allclose(bd.matvec(x), dense @ x)
+
+
+def test_blockdiag_validation():
+    with pytest.raises(FormatError):
+        BlockDiagonalMatrix(3, [0, 3], np.zeros(4), [0, 4])  # 3x3 block needs 9
+
+
+def test_blocksolve_on_fem_matrix():
+    m = fem_matrix(points=12, dof=3, rng=0)
+    bs = BlockSolveMatrix.from_coo(m)
+    # each grid point's dof rows join one clique (points with identical
+    # neighborhoods can merge into one larger clique)
+    widths = np.diff(bs.clique_ptr)
+    assert (widths % 3 == 0).all() and (widths >= 3).all()
+    assert bs.ncolors >= 1
+    assert np.allclose(bs.to_dense(), m.to_dense())
+
+
+def test_blocksolve_matvec_matches_dense():
+    m = fem_matrix(points=10, dof=3, rng=1)
+    bs = BlockSolveMatrix.from_coo(m)
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(m.shape[0])
+    assert np.allclose(bs.matvec(x), m.to_dense() @ x)
+
+
+def test_blocksolve_coloring_is_proper():
+    """Cliques sharing matrix entries must get different colors."""
+    m = fem_matrix(points=15, dof=2, rng=3)
+    bs = BlockSolveMatrix.from_coo(m)
+    dense = np.abs(bs.dense_blocks.to_dense()) + np.abs(bs.offdiag.to_dense())
+    ptr = bs.clique_ptr
+    k = len(ptr) - 1
+    for a in range(k):
+        for b in range(a + 1, k):
+            blk = dense[ptr[a] : ptr[a + 1], ptr[b] : ptr[b + 1]]
+            if blk.any():
+                assert bs.colors[a] != bs.colors[b]
+
+
+def test_blocksolve_requires_square():
+    with pytest.raises(FormatError):
+        BlockSolveMatrix.from_coo(COOMatrix((2, 3), [], [], []))
+
+
+def test_blocksolve_is_composite():
+    m = fem_matrix(points=4, dof=2, rng=0)
+    bs = BlockSolveMatrix.from_coo(m)
+    with pytest.raises(FormatError):
+        bs.levels()
+    with pytest.raises(FormatError):
+        bs.storage("A")
+
+
+@given(square_coo_matrices(max_n=8))
+@settings(max_examples=25, deadline=None)
+def test_blocksolve_matvec_property(m):
+    bs = BlockSolveMatrix.from_coo(m)
+    x = np.linspace(-1, 1, m.shape[0])
+    assert np.allclose(bs.matvec(x), m.to_dense() @ x, atol=1e-9)

@@ -1,0 +1,155 @@
+"""Round-trip tests: every matrix format converts to/from COO losslessly.
+
+These are the core structural invariants: ``F.from_coo(m).to_coo() == m``
+for every format F (up to explicit-zero pruning where the format stores
+dense runs), cross-checked against scipy.sparse as an independent oracle.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro.formats import (
+    CCCSMatrix,
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    DenseMatrix,
+    DiagonalMatrix,
+    ELLMatrix,
+    InodeMatrix,
+    JaggedDiagonalMatrix,
+)
+from tests.conftest import coo_matrices
+
+ROUNDTRIP_FORMATS = [
+    DenseMatrix,
+    CRSMatrix,
+    CCSMatrix,
+    CCCSMatrix,
+    ELLMatrix,
+    DiagonalMatrix,
+    JaggedDiagonalMatrix,
+    InodeMatrix,
+]
+
+
+@pytest.mark.parametrize("fmt", ROUNDTRIP_FORMATS, ids=lambda f: f.__name__)
+def test_paper_matrix_roundtrip(paper_matrix, fmt):
+    m = fmt.from_coo(paper_matrix)
+    assert m.to_coo().prune(0.0) == paper_matrix
+    assert np.allclose(m.to_dense(), paper_matrix.to_dense())
+
+
+@pytest.mark.parametrize("fmt", ROUNDTRIP_FORMATS, ids=lambda f: f.__name__)
+def test_empty_matrix_roundtrip(fmt):
+    empty = COOMatrix((4, 5), [], [], [])
+    m = fmt.from_coo(empty)
+    assert m.nnz == 0
+    assert np.allclose(m.to_dense(), np.zeros((4, 5)))
+
+
+@pytest.mark.parametrize("fmt", ROUNDTRIP_FORMATS, ids=lambda f: f.__name__)
+@given(coo=coo_matrices())
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_property(fmt, coo):
+    m = fmt.from_coo(coo)
+    assert m.to_coo().prune(0.0) == coo.prune(0.0)
+
+
+def test_crs_matches_scipy(paper_matrix):
+    ours = CRSMatrix.from_coo(paper_matrix)
+    ref = sp.csr_matrix(paper_matrix.to_dense())
+    assert np.array_equal(ours.rowptr, ref.indptr)
+    assert np.array_equal(ours.colind, ref.indices)
+    assert np.allclose(ours.vals, ref.data)
+
+
+def test_ccs_matches_scipy(paper_matrix):
+    ours = CCSMatrix.from_coo(paper_matrix)
+    ref = sp.csc_matrix(paper_matrix.to_dense())
+    assert np.array_equal(ours.colp, ref.indptr)
+    assert np.array_equal(ours.rowind, ref.indices)
+    assert np.allclose(ours.vals, ref.data)
+
+
+def test_ccs_paper_figure_arrays(paper_matrix):
+    """Fig. 1(b): COLP/VALS/ROWIND of the example matrix."""
+    ccs = CCSMatrix.from_coo(paper_matrix)
+    assert ccs.colp.tolist() == [0, 2, 3, 3, 4, 6, 6]
+    assert ccs.rowind.tolist() == [0, 2, 1, 3, 0, 4]
+    assert ccs.vals.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+
+
+def test_cccs_paper_figure_arrays(paper_matrix):
+    """Fig. 1(c): COLIND compresses away the empty columns 2 and 5."""
+    c = CCCSMatrix.from_coo(paper_matrix)
+    assert c.colind.tolist() == [0, 1, 3, 4]
+    assert c.colp.tolist() == [0, 2, 3, 4, 6]
+    assert c.rowind.tolist() == [0, 2, 1, 3, 0, 4]
+    assert c.ncols_stored == 4
+
+
+def test_ell_padding_never_enumerated(paper_matrix):
+    ell = ELLMatrix.from_coo(paper_matrix)
+    assert ell.K == 2
+    assert ell.rowlen.tolist() == [2, 1, 1, 1, 1, 0]
+    assert ell.nnz == paper_matrix.nnz
+
+
+def test_diagonal_stores_runs():
+    # one diagonal with an interior gap -> explicit zero in the run
+    coo = COOMatrix.from_entries((5, 5), [0, 2], [0, 2], [1.0, 3.0])
+    d = DiagonalMatrix.from_coo(coo)
+    assert d.ndiag == 1
+    assert d.offsets.tolist() == [0]
+    assert d.stored_count == 3  # rows 0..2 of the main diagonal
+    assert d.nnz == 2  # but only two structural nonzeros
+    assert d.to_coo() == coo
+
+
+def test_jdiag_structure():
+    dense = np.array([[1.0, 2.0, 3.0], [4.0, 0, 0], [0, 5.0, 6.0]])
+    jd = JaggedDiagonalMatrix.from_coo(COOMatrix.from_dense(dense))
+    # row 0 has 3 entries -> first in the permutation
+    assert jd.perm[0] == 0
+    assert jd.njd == 3
+    lens = np.diff(jd.jdptr)
+    assert all(lens[k] >= lens[k + 1] for k in range(len(lens) - 1))
+    assert np.allclose(jd.to_dense(), dense)
+
+
+def test_inode_grouping():
+    # rows 0 and 1 share the pattern {0, 2}; row 2 is alone
+    dense = np.array([[1.0, 0, 2.0], [3.0, 0, 4.0], [0, 5.0, 0]])
+    ino = InodeMatrix.from_coo(COOMatrix.from_dense(dense))
+    assert ino.ninodes == 2
+    assert np.diff(ino.inodeptr).tolist() == [2, 1]
+    assert np.allclose(ino.to_dense(), dense)
+
+
+def test_inode_matvec_matches_dense():
+    rng = np.random.default_rng(7)
+    dense = np.zeros((12, 12))
+    # 4 points x 3 dof with identical patterns per point
+    for p in range(4):
+        cols = rng.choice(12, size=4, replace=False)
+        for d in range(3):
+            dense[3 * p + d, cols] = rng.standard_normal(4)
+    ino = InodeMatrix.from_coo(COOMatrix.from_dense(dense))
+    assert ino.ninodes <= 4 + 1
+    x = rng.standard_normal(12)
+    assert np.allclose(ino.matvec(x), dense @ x)
+
+
+def test_inode_split_by_columns():
+    rng = np.random.default_rng(3)
+    dense = rng.standard_normal((6, 6)) * (rng.random((6, 6)) < 0.5)
+    ino = InodeMatrix.from_coo(COOMatrix.from_dense(dense))
+    mask = np.array([True, True, True, False, False, False])
+    left, right = ino.split_by_columns(mask)
+    got = left.to_dense() + right.to_dense()
+    assert np.allclose(got, dense)
+    assert not left.to_dense()[:, 3:].any()
+    assert not right.to_dense()[:, :3].any()

@@ -1,0 +1,115 @@
+"""Unit + property tests for the COO exchange format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix
+from tests.conftest import coo_matrices
+
+
+def test_from_dense_roundtrip(paper_matrix):
+    dense = paper_matrix.to_dense()
+    again = COOMatrix.from_dense(dense)
+    assert again == paper_matrix
+
+
+def test_from_entries_sums_duplicates():
+    m = COOMatrix.from_entries((3, 3), [0, 0, 1], [1, 1, 2], [2.0, 3.0, 4.0])
+    assert m.nnz == 2
+    assert m.to_dense()[0, 1] == 5.0
+
+
+def test_from_entries_sorts_row_major():
+    m = COOMatrix.from_entries((3, 3), [2, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0])
+    assert m.row.tolist() == [0, 1, 2]
+    assert m.col.tolist() == [2, 1, 0]
+
+
+def test_out_of_bounds_rejected():
+    with pytest.raises(FormatError):
+        COOMatrix((2, 2), [2], [0], [1.0])
+    with pytest.raises(FormatError):
+        COOMatrix((2, 2), [0], [5], [1.0])
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(FormatError):
+        COOMatrix((2, 2), [0, 1], [0], [1.0])
+
+
+def test_identity():
+    m = COOMatrix.identity(4)
+    assert np.array_equal(m.to_dense(), np.eye(4))
+
+
+def test_transpose(paper_matrix):
+    t = paper_matrix.transpose()
+    assert np.array_equal(t.to_dense(), paper_matrix.to_dense().T)
+
+
+def test_prune():
+    m = COOMatrix.from_entries((2, 2), [0, 1], [0, 1], [1.0, 0.0])
+    assert m.nnz == 2  # structural zero kept
+    assert m.prune().nnz == 1
+
+
+def test_row_col_counts(paper_matrix):
+    assert paper_matrix.row_counts().tolist() == [2, 1, 1, 1, 1, 0]
+    assert paper_matrix.col_counts().tolist() == [2, 1, 0, 1, 2, 0]
+
+
+def test_diagonal():
+    m = COOMatrix.from_entries((3, 3), [0, 1, 2, 0], [0, 1, 2, 2], [5.0, 6.0, 7.0, 9.0])
+    assert m.diagonal().tolist() == [5.0, 6.0, 7.0]
+
+
+def test_select_rows(paper_matrix):
+    sub = paper_matrix.select_rows([2, 0])
+    dense = paper_matrix.to_dense()
+    assert np.array_equal(sub.to_dense(), dense[[2, 0], :])
+
+
+def test_permuted():
+    m = COOMatrix.from_entries((2, 2), [0, 1], [0, 1], [1.0, 2.0])
+    p = m.permuted(row_perm=[1, 0])
+    assert p.to_dense().tolist() == [[0.0, 2.0], [1.0, 0.0]]
+
+
+def test_search():
+    m = COOMatrix.from_entries((3, 3), [0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0])
+    assert m._search(1, 2) >= 0
+    assert m.vals[m._search(1, 2)] == 2.0
+    assert m._search(1, 1) == -1
+    assert m._search(2, 2) == -1
+
+
+def test_search_requires_canonical():
+    m = COOMatrix((2, 2), [1, 0], [0, 0], [1.0, 2.0], canonical=False)
+    with pytest.raises(FormatError):
+        m._search(0, 0)
+
+
+def test_random_density():
+    m = COOMatrix.random(50, 50, 0.1, rng=0)
+    assert 0 < m.nnz <= 250
+    assert m.canonical
+
+
+def test_random_symmetric():
+    m = COOMatrix.random(20, 20, 0.2, rng=1, symmetric=True)
+    d = m.to_dense()
+    assert np.allclose(d, d.T)
+
+
+@given(coo_matrices())
+@settings(max_examples=50, deadline=None)
+def test_dense_roundtrip_property(m):
+    assert COOMatrix.from_dense(m.to_dense()) == m.prune(0.0)
+
+
+@given(coo_matrices())
+@settings(max_examples=50, deadline=None)
+def test_transpose_involution(m):
+    assert m.transpose().transpose() == m

@@ -1,0 +1,70 @@
+"""TranslatedVector: the ghost-view vector with runtime index translation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, CRSMatrix, DenseVector, TranslatedVector
+from repro.kernels.spmv import SPMV_SRC
+
+
+def test_to_dense_applies_map():
+    tv = TranslatedVector(4, np.array([10.0, 20.0]), np.array([1, 0, 1, 0]))
+    assert tv.to_dense().tolist() == [20.0, 10.0, 20.0, 10.0]
+
+
+def test_nnz_counts_viewed_values():
+    tv = TranslatedVector(3, np.array([0.0, 5.0]), np.array([0, 1, 0]))
+    assert tv.nnz == 1
+
+
+def test_map_must_cover_global_extent():
+    with pytest.raises(FormatError):
+        TranslatedVector(4, np.zeros(2), np.array([0, 1]))
+
+
+def test_map_bounds_checked():
+    with pytest.raises(FormatError):
+        TranslatedVector(2, np.zeros(2), np.array([0, 5]))
+    with pytest.raises(FormatError):
+        TranslatedVector(2, np.zeros(2), np.array([-1, 0]))
+
+
+def test_shape_and_dims():
+    tv = TranslatedVector(6, np.zeros(3), np.zeros(6, dtype=int))
+    assert tv.shape == (6,)
+    assert tv.ndim == 1
+    assert tv.structurally_dense and not tv.writable
+
+
+def test_storage_keys():
+    tv = TranslatedVector(3, np.zeros(2), np.array([0, 1, 0]))
+    keys = set(tv.storage("X"))
+    assert keys == {"X_vals", "X_map", "X_n0"}
+
+
+def test_buffer_is_shared_not_copied():
+    buf = np.zeros(3)
+    tv = TranslatedVector(3, buf, np.arange(3))
+    buf[1] = 7.0
+    assert tv.to_dense()[1] == 7.0  # the view sees buffer mutations
+
+
+@given(st.integers(2, 10), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_spmv_through_view_property(n, seed):
+    rng = np.random.default_rng(seed)
+    coo = COOMatrix.random(n, n, 0.4, rng=rng)
+    A = CRSMatrix.from_coo(coo)
+    nbuf = rng.integers(1, n + 1)
+    buf = rng.standard_normal(nbuf)
+    idx_map = rng.integers(0, nbuf, size=n)
+    tv = TranslatedVector(n, buf, idx_map)
+    from repro.compiler import compile_kernel
+
+    Y = DenseVector.zeros(n)
+    k = compile_kernel(SPMV_SRC, {"A": A, "X": tv, "Y": Y}, cache=False)
+    k(A=A, X=tv, Y=Y)
+    assert np.allclose(Y.vals, coo.to_dense() @ buf[idx_map], atol=1e-9)

@@ -1,0 +1,109 @@
+"""Tests for the compiled sparse-BLAS layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.formats import (
+    BlockSolveMatrix,
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    DiagonalMatrix,
+    ELLMatrix,
+    JaggedDiagonalMatrix,
+    SparseVector,
+)
+from repro.kernels import axpy, dot, scale, spmm, spmv, spmv_transpose
+from repro.matrices import fem_matrix
+from tests.conftest import coo_matrices
+
+ALL = [COOMatrix, CRSMatrix, CCSMatrix, ELLMatrix, DiagonalMatrix, JaggedDiagonalMatrix]
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    dense = rng.standard_normal((12, 10)) * (rng.random((12, 10)) < 0.3)
+    return COOMatrix.from_dense(dense), dense, rng.standard_normal(10), rng.standard_normal(12)
+
+
+@pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.__name__)
+def test_spmv(fmt, data):
+    coo, dense, x, _ = data
+    assert np.allclose(spmv(fmt.from_coo(coo), x), dense @ x)
+
+
+def test_spmv_accumulates(data):
+    coo, dense, x, _ = data
+    y = np.ones(12)
+    out = spmv(CRSMatrix.from_coo(coo), x, y=y)
+    assert out is y
+    assert np.allclose(y, 1.0 + dense @ x)
+
+
+def test_spmv_blocksolve():
+    m = fem_matrix(points=8, dof=3, rng=0)
+    bs = BlockSolveMatrix.from_coo(m)
+    x = np.linspace(-1, 1, m.shape[0])
+    assert np.allclose(spmv(bs, x), m.to_dense() @ x)
+    y = np.ones(m.shape[0])
+    spmv(bs, x, y=y)
+    assert np.allclose(y, 1.0 + m.to_dense() @ x)
+
+
+@pytest.mark.parametrize("fmt", [CRSMatrix, CCSMatrix, COOMatrix], ids=lambda f: f.__name__)
+def test_spmv_transpose(fmt, data):
+    coo, dense, _, xt = data
+    assert np.allclose(spmv_transpose(fmt.from_coo(coo), xt), dense.T @ xt)
+
+
+def test_spmm(data):
+    coo, dense, _, _ = data
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal((10, 4))
+    assert np.allclose(spmm(CRSMatrix.from_coo(coo), b), dense @ b)
+
+
+def test_spmm_two_sparse(data):
+    coo, dense, _, _ = data
+    other = COOMatrix.random(10, 6, 0.3, rng=2)
+    got = spmm(CRSMatrix.from_coo(coo), CRSMatrix.from_coo(other))
+    assert np.allclose(got, dense @ other.to_dense())
+
+
+def test_axpy_dense():
+    y = np.ones(5)
+    axpy(2.0, np.arange(5.0), y)
+    assert np.allclose(y, 1.0 + 2.0 * np.arange(5))
+
+
+def test_axpy_sparse_x():
+    y = np.ones(6)
+    x = SparseVector(6, [1, 4], [10.0, 20.0])
+    axpy(0.5, x, y)
+    want = np.ones(6)
+    want[1] += 5.0
+    want[4] += 10.0
+    assert np.allclose(y, want)
+
+
+def test_dot_dense():
+    assert dot(np.arange(4.0), np.ones(4)) == pytest.approx(6.0)
+
+
+def test_dot_sparse():
+    x = SparseVector(5, [0, 3], [2.0, 3.0])
+    y = np.arange(5.0)
+    assert dot(x, y) == pytest.approx(9.0)
+
+
+def test_scale():
+    assert np.allclose(scale(3.0, np.arange(4.0)), 3.0 * np.arange(4))
+
+
+@given(coo=coo_matrices(max_n=8, max_m=8))
+@settings(max_examples=20, deadline=None)
+def test_spmv_property_crs(coo):
+    x = np.linspace(-2, 2, coo.shape[1])
+    assert np.allclose(spmv(CRSMatrix.from_coo(coo), x), coo.to_dense() @ x, atol=1e-9)

@@ -1,0 +1,91 @@
+"""Relational-algebra identities (property tests) and the relational
+formulation of the inspector queries (paper Eq. 21–22)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import BlockDistribution, CyclicDistribution
+from repro.formats import COOMatrix
+from repro.parallel import partition_rows
+from repro.relational import Relation
+
+row = st.tuples(st.integers(0, 5), st.integers(0, 50))
+rows = st.lists(row, max_size=20)
+
+
+def rel(schema, data):
+    return Relation.from_tuples(schema, data) if data else Relation.empty(schema)
+
+
+@given(rows, rows)
+@settings(max_examples=40, deadline=None)
+def test_join_commutes_as_a_set(l, r):
+    L, R = rel(["k", "v"], l), rel(["k", "w"], r)
+    lr = {(k, v, w) for (k, v, w) in L.join(R, on=["k"]).to_tuples()}
+    rl = {(k, w, v) for (k, w, v) in R.join(L, on=["k"]).to_tuples()}
+    assert lr == {(k, v, w) for (k, w, v) in rl}
+
+
+@given(rows)
+@settings(max_examples=40, deadline=None)
+def test_projection_idempotent(l):
+    L = rel(["k", "v"], l)
+    p1 = L.project(["k"])
+    assert p1.project(["k"]) == p1
+
+
+@given(rows, st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_selection_commutes_with_join(l, key):
+    """σ(L ⋈ R) == σ(L) ⋈ R when the predicate touches only L's key."""
+    L = rel(["k", "v"], l)
+    R = rel(["k", "w"], [(i, i * 10) for i in range(6)])
+    lhs = L.join(R, on=["k"]).select(lambda k, v, w: k == key)
+    rhs = L.select(lambda k, v: k == key).join(R, on=["k"])
+    assert sorted(lhs.to_tuples()) == sorted(rhs.to_tuples())
+
+
+@given(rows, rows)
+@settings(max_examples=40, deadline=None)
+def test_semijoin_is_join_then_project(l, r):
+    L, R = rel(["k", "v"], l), rel(["k", "w"], r)
+    semi = L.semijoin(R, on=["k"]).distinct()
+    via_join = L.join(R, on=["k"]).project(["k", "v"])
+    assert semi.to_set() == via_join.to_set()
+
+
+@given(rows)
+@settings(max_examples=40, deadline=None)
+def test_union_with_self_doubles_multiplicity(l):
+    L = rel(["k", "v"], l)
+    assert len(L.union(L)) == 2 * len(L)
+    assert L.union(L).distinct() == L.distinct()
+
+
+# ----------------------------------------------------------------------
+# Eq. 21-22 expressed in the relational engine == the numpy fast paths
+# ----------------------------------------------------------------------
+def test_used_set_is_projection_of_fragment_relation():
+    """Used^(p)(j) = π_j σ_NZ(A^(p)) A^(p)  (paper Eq. 21)."""
+    coo = COOMatrix.random(12, 12, 0.3, rng=0)
+    dist = CyclicDistribution(12, 3)
+    for frag in partition_rows(coo, dist):
+        rel_used = frag.as_relation().select(lambda ip, j, a: a != 0).project(["j"])
+        via_relation = sorted(t[0] for t in rel_used.to_tuples())
+        assert via_relation == frag.used_columns().tolist()
+
+
+def test_recvind_is_join_with_ind_relation():
+    """RecvInd^(p) = Used^(p) ⋈ IND(j, q, j')  (paper Eq. 22)."""
+    coo = COOMatrix.random(10, 10, 0.4, rng=1)
+    dist = BlockDistribution(10, 2)
+    ind = dist.as_relation().rename({"i": "j", "p": "q", "ip": "jp"})
+    for frag in partition_rows(coo, dist):
+        used = Relation(["j"], {"j": frag.used_columns()})
+        recvind = used.join(ind, on=["j"])
+        # the join must agree with the distribution's direct owner map
+        for j, q, jp in recvind.to_tuples():
+            assert dist.owner([j]).item() == q
+            assert dist.local_index([j]).item() == jp
+        assert len(recvind) == len(frag.used_columns())

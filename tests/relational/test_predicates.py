@@ -1,0 +1,114 @@
+"""Unit + property tests for sparsity predicates and DNF normalization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.predicates import (
+    NZ,
+    And,
+    FalsePred,
+    Or,
+    TruePred,
+    conj,
+    disj,
+    to_dnf,
+)
+
+a = NZ("A", ("i", "j"))
+x = NZ("X", ("j",))
+y = NZ("Y", ("i",))
+
+
+def test_nz_repr_and_fields():
+    assert repr(a) == "NZ(A(i,j))"
+    assert a.arrays() == {"A"}
+
+
+def test_conj_drops_true():
+    assert conj(TruePred(), a) == a
+    assert conj(TruePred(), TruePred()) == TruePred()
+
+
+def test_conj_short_circuits_false():
+    assert conj(a, FalsePred(), x) == FalsePred()
+
+
+def test_disj_drops_false():
+    assert disj(FalsePred(), a) == a
+    assert disj(FalsePred(), FalsePred()) == FalsePred()
+
+
+def test_disj_short_circuits_true():
+    assert disj(a, TruePred()) == TruePred()
+
+
+def test_conj_flattens_and_dedupes():
+    p = conj(a, conj(x, a))
+    assert p == And((a, x))
+
+
+def test_disj_flattens_and_dedupes():
+    p = disj(a, disj(x, a))
+    assert p == Or((a, x))
+
+
+def test_spmv_predicate():
+    """Paper Eq. 3: P = NZ(A(i,j)) ∧ NZ(X(j))."""
+    p = conj(a, x)
+    assert to_dnf(p) == [(a, x)]
+    assert p.arrays() == {"A", "X"}
+
+
+def test_dnf_true_false():
+    assert to_dnf(TruePred()) == [()]
+    assert to_dnf(FalsePred()) == []
+
+
+def test_dnf_distributes():
+    # (a | x) & y  ->  (a & y) | (x & y)
+    p = conj(disj(a, x), y)
+    dnf = to_dnf(p)
+    assert sorted(map(frozenset, dnf)) in (
+        [frozenset({a, y}), frozenset({x, y})],
+        [frozenset({x, y}), frozenset({a, y})],
+    )
+    assert {frozenset(c) for c in dnf} == {frozenset({a, y}), frozenset({x, y})}
+
+
+def test_dnf_subsumption():
+    # a | (a & x)  ->  a
+    p = disj(a, conj(a, x))
+    assert to_dnf(p) == [(a,)]
+
+
+def test_evaluate():
+    truth = {("A", ("i", "j")): True, ("X", ("j",)): False}
+    nz = lambda arr, idx: truth[(arr, idx)]
+    assert conj(a, x).evaluate(nz) is False
+    assert disj(a, x).evaluate(nz) is True
+
+
+leaves = st.sampled_from([a, x, y, TruePred(), FalsePred()])
+
+
+def preds():
+    return st.recursive(
+        leaves,
+        lambda kids: st.one_of(
+            st.lists(kids, min_size=1, max_size=3).map(lambda cs: conj(*cs)),
+            st.lists(kids, min_size=1, max_size=3).map(lambda cs: disj(*cs)),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(preds(), st.booleans(), st.booleans(), st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_dnf_preserves_semantics(p, va, vx, vy):
+    """DNF evaluates identically to the original predicate on any assignment."""
+    truth = {"A": va, "X": vx, "Y": vy}
+    nz = lambda arr, idx: truth[arr]
+    want = p.evaluate(nz)
+    dnf = to_dnf(p)
+    got = any(all(lit.evaluate(nz) for lit in con) for con in dnf)
+    assert got == want

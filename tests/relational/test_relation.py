@@ -1,0 +1,177 @@
+"""Unit tests for repro.relational.relation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Relation, Schema
+
+
+@pytest.fixture
+def A():
+    # the sparse matrix of paper Fig. 1(a), as an (i, j, a) relation
+    rows = [(0, 0, 1.0), (2, 0, 2.0), (1, 1, 3.0), (3, 3, 4.0), (0, 4, 5.0), (4, 4, 6.0)]
+    return Relation.from_tuples(["i", "j", "a"], rows)
+
+
+def test_from_tuples_roundtrip(A):
+    assert sorted(A.to_tuples()) == sorted(
+        [(0, 0, 1.0), (2, 0, 2.0), (1, 1, 3.0), (3, 3, 4.0), (0, 4, 5.0), (4, 4, 6.0)]
+    )
+    assert len(A) == 6
+
+
+def test_empty_relation():
+    e = Relation.empty(["i", "j"])
+    assert len(e) == 0
+    assert e.to_tuples() == []
+
+
+def test_from_tuples_empty():
+    e = Relation.from_tuples(["i"], [])
+    assert len(e) == 0
+
+
+def test_column_access(A):
+    assert np.array_equal(np.sort(A.column("i")), [0, 0, 1, 2, 3, 4])
+    with pytest.raises(SchemaError):
+        A.column("zzz")
+
+
+def test_column_length_mismatch():
+    with pytest.raises(SchemaError):
+        Relation(["i", "j"], {"i": [1, 2], "j": [1]})
+
+
+def test_missing_column_rejected():
+    with pytest.raises(SchemaError):
+        Relation(["i", "j"], {"i": [1]})
+
+
+def test_extra_column_rejected():
+    with pytest.raises(SchemaError):
+        Relation(["i"], {"i": [1], "j": [2]})
+
+
+def test_select_mask(A):
+    r = A.select_mask(A.column("i") == 0)
+    assert r.to_set() == {(0, 0, 1.0), (0, 4, 5.0)}
+
+
+def test_select_vectorized(A):
+    r = A.select(lambda i, j, a: a > 3.0)
+    assert r.to_set() == {(3, 3, 4.0), (0, 4, 5.0), (4, 4, 6.0)}
+
+
+def test_project_distinct(A):
+    r = A.project(["i"])
+    assert r.to_set() == {(0,), (1,), (2,), (3,), (4,)}
+    assert len(r) == 5  # duplicate i=0 removed
+
+
+def test_project_keep_duplicates(A):
+    r = A.project(["i"], distinct=False)
+    assert len(r) == 6
+
+
+def test_rename(A):
+    r = A.rename({"i": "ip"})
+    assert r.schema == Schema(["ip", "j", "a"])
+    assert sorted(r.to_tuples()) == sorted(A.to_tuples())
+
+
+def test_union():
+    a = Relation.from_tuples(["i"], [(1,), (2,)])
+    b = Relation.from_tuples(["i"], [(2,), (3,)])
+    assert sorted(a.union(b).to_tuples()) == [(1,), (2,), (2,), (3,)]
+
+
+def test_union_schema_mismatch():
+    a = Relation.from_tuples(["i"], [(1,)])
+    b = Relation.from_tuples(["j"], [(1,)])
+    with pytest.raises(SchemaError):
+        a.union(b)
+
+
+def test_union_with_empty():
+    a = Relation.from_tuples(["i"], [(1,)])
+    e = Relation.empty(["i"])
+    assert a.union(e) == a
+    assert e.union(a) == a
+
+
+def test_sort_by(A):
+    s = A.sort_by(["j", "i"])
+    assert s.to_tuples() == [
+        (0, 0, 1.0),
+        (2, 0, 2.0),
+        (1, 1, 3.0),
+        (3, 3, 4.0),
+        (0, 4, 5.0),
+        (4, 4, 6.0),
+    ]
+
+
+def test_distinct():
+    r = Relation.from_tuples(["i", "j"], [(1, 2), (1, 2), (0, 5)])
+    assert r.distinct().to_set() == {(1, 2), (0, 5)}
+    assert len(r.distinct()) == 2
+
+
+def test_bag_equality():
+    a = Relation.from_tuples(["i"], [(1,), (2,), (2,)])
+    b = Relation.from_tuples(["i"], [(2,), (1,), (2,)])
+    c = Relation.from_tuples(["i"], [(1,), (2,)])
+    assert a == b
+    assert a != c
+
+
+def test_join_on_common_field(A):
+    X = Relation.from_tuples(["j", "x"], [(0, 10.0), (4, 20.0)])
+    r = A.join(X)
+    # only columns 0 and 4 of A have X entries
+    assert r.to_set() == {
+        (0, 0, 1.0, 10.0),
+        (2, 0, 2.0, 10.0),
+        (0, 4, 5.0, 20.0),
+        (4, 4, 6.0, 20.0),
+    }
+    assert r.schema == Schema(["i", "j", "a", "x"])
+
+
+def test_join_no_common_field_raises():
+    a = Relation.from_tuples(["i"], [(1,)])
+    b = Relation.from_tuples(["j"], [(1,)])
+    with pytest.raises(SchemaError):
+        a.join(b)
+
+
+def test_join_duplicate_value_field_raises():
+    a = Relation.from_tuples(["i", "v"], [(1, 2.0)])
+    b = Relation.from_tuples(["i", "v"], [(1, 3.0)])
+    with pytest.raises(SchemaError):
+        a.join(b, on=["i"])
+
+
+def test_join_explicit_on():
+    a = Relation.from_tuples(["i", "v"], [(1, 2.0), (2, 4.0)])
+    b = Relation.from_tuples(["i", "w"], [(2, 9.0)])
+    r = a.join(b, on=["i"])
+    assert r.to_set() == {(2, 4.0, 9.0)}
+
+
+def test_semijoin(A):
+    keys = Relation.from_tuples(["i"], [(0,), (3,)])
+    r = A.semijoin(keys)
+    assert r.to_set() == {(0, 0, 1.0), (0, 4, 5.0), (3, 3, 4.0)}
+
+
+def test_difference_keys(A):
+    keys = Relation.from_tuples(["i"], [(0,), (3,)])
+    r = A.difference_keys(keys, on=["i"])
+    assert r.to_set() == {(2, 0, 2.0), (1, 1, 3.0), (4, 4, 6.0)}
+
+
+def test_relation_unhashable(A):
+    with pytest.raises(TypeError):
+        hash(A)

@@ -1,0 +1,70 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Schema
+
+
+def test_fields_preserved_in_order():
+    s = Schema(["i", "j", "a"])
+    assert s.fields == ("i", "j", "a")
+    assert list(s) == ["i", "j", "a"]
+    assert len(s) == 3
+
+
+def test_position_lookup():
+    s = Schema(["i", "j"])
+    assert s.position("i") == 0
+    assert s.position("j") == 1
+
+
+def test_position_missing_raises():
+    with pytest.raises(SchemaError):
+        Schema(["i"]).position("q")
+
+
+def test_contains():
+    s = Schema(["i", "j"])
+    assert "i" in s and "q" not in s
+
+
+def test_duplicate_fields_rejected():
+    with pytest.raises(SchemaError):
+        Schema(["i", "i"])
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        Schema([])
+
+
+def test_invalid_identifier_rejected():
+    with pytest.raises(SchemaError):
+        Schema(["not a name"])
+    with pytest.raises(SchemaError):
+        Schema([""])
+
+
+def test_equality_and_hash():
+    assert Schema(["i", "j"]) == Schema(["i", "j"])
+    assert Schema(["i", "j"]) != Schema(["j", "i"])
+    assert hash(Schema(["i"])) == hash(Schema(["i"]))
+
+
+def test_common_preserves_left_order():
+    a = Schema(["i", "j", "a"])
+    b = Schema(["j", "x", "i"])
+    assert a.common(b) == ("i", "j")
+
+
+def test_renamed():
+    s = Schema(["i", "j"]).renamed({"i": "ip"})
+    assert s.fields == ("ip", "j")
+
+
+def test_project():
+    s = Schema(["i", "j", "a"]).project(["a", "i"])
+    assert s.fields == ("a", "i")
+    with pytest.raises(SchemaError):
+        Schema(["i"]).project(["z"])

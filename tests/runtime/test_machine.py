@@ -1,0 +1,197 @@
+"""The BSP machine: collectives, SPMD discipline, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeMachineError
+from repro.runtime import CommModel, Machine
+from repro.runtime.machine import payload_nbytes
+
+
+def test_alltoallv_routes():
+    m = Machine(3)
+
+    def prog(p):
+        send = {q: np.array([p * 10 + q]) for q in range(3)}
+        recv = yield ("alltoallv", send)
+        return {src: v.item() for src, v in recv.items()}
+
+    results, _ = m.run(prog)
+    assert results[0] == {0: 0, 1: 10, 2: 20}
+    assert results[2] == {0: 2, 1: 12, 2: 22}
+
+
+def test_alltoallv_partial_sends():
+    m = Machine(2)
+
+    def prog(p):
+        send = {1: np.ones(4)} if p == 0 else {}
+        recv = yield ("alltoallv", send)
+        return sorted(recv)
+
+    results, stats = m.run(prog)
+    assert results[0] == []
+    assert results[1] == [0]
+    assert stats.total_msgs() == 1
+    assert stats.total_nbytes() == 32
+
+
+def test_self_message_not_counted():
+    m = Machine(2)
+
+    def prog(p):
+        recv = yield ("alltoallv", {p: np.ones(10)})
+        return recv[p].sum()
+
+    results, stats = m.run(prog)
+    assert results == [10.0, 10.0]
+    assert stats.total_msgs() == 0
+
+
+def test_allreduce():
+    m = Machine(4)
+
+    def prog(p):
+        total = yield ("allreduce", p + 1.0)
+        return total
+
+    results, _ = m.run(prog)
+    assert results == [10.0] * 4
+
+
+def test_allreduce_arrays():
+    m = Machine(3)
+
+    def prog(p):
+        v = yield ("allreduce", np.full(2, float(p)))
+        return v
+
+    results, _ = m.run(prog)
+    assert np.allclose(results[0], [3.0, 3.0])
+
+
+def test_allgather():
+    m = Machine(3)
+
+    def prog(p):
+        vals = yield ("allgather", p * p)
+        return vals
+
+    results, _ = m.run(prog)
+    assert results[1] == [0, 1, 4]
+
+
+def test_barrier_and_phase():
+    m = Machine(2)
+
+    def prog(p):
+        yield ("barrier", None)
+        yield ("phase", "work")
+        _ = yield ("allreduce", 1.0)
+        return "ok"
+
+    results, stats = m.run(prog)
+    assert results == ["ok", "ok"]
+    w = stats.window("work")
+    assert len(w.phases) >= 1
+    assert all(ph.kind != "phase" for ph in w.phases)
+
+
+def test_window_selects_named_region():
+    m = Machine(2)
+
+    def prog(p):
+        yield ("phase", "a")
+        _ = yield ("allreduce", 1.0)
+        yield ("phase", "b")
+        _ = yield ("allreduce", 1.0)
+        _ = yield ("allreduce", 1.0)
+        return None
+
+    _, stats = m.run(prog)
+    assert len(stats.window("a").phases) == 1
+    assert len(stats.window("b").phases) >= 2
+
+
+def test_mismatched_collectives_raise():
+    m = Machine(2)
+
+    def prog(p):
+        if p == 0:
+            yield ("barrier", None)
+        else:
+            yield ("allreduce", 1.0)
+
+    with pytest.raises(RuntimeMachineError):
+        m.run(prog)
+
+
+def test_early_finish_raises():
+    m = Machine(2)
+
+    def prog(p):
+        if p == 0:
+            return 1
+        yield ("barrier", None)
+        return 2
+
+    with pytest.raises(RuntimeMachineError):
+        m.run(prog)
+
+
+def test_unknown_collective():
+    m = Machine(1)
+
+    def prog(p):
+        yield ("teleport", None)
+
+    with pytest.raises(RuntimeMachineError):
+        m.run(prog)
+
+
+def test_bad_destination():
+    m = Machine(2)
+
+    def prog(p):
+        yield ("alltoallv", {5: np.ones(1)})
+
+    with pytest.raises(RuntimeMachineError):
+        m.run(prog)
+
+
+def test_yield_from_subroutine():
+    m = Machine(2)
+
+    def helper(p):
+        s = yield ("allreduce", p)
+        return s * 2
+
+    def prog(p):
+        doubled = yield from helper(p)
+        return doubled
+
+    results, _ = m.run(prog)
+    assert results == [2, 2]
+
+
+def test_parallel_time_positive():
+    m = Machine(2)
+
+    def prog(p):
+        _ = yield ("alltoallv", {1 - p: np.ones(1000)})
+        return None
+
+    _, stats = m.run(prog)
+    t = stats.parallel_time(CommModel())
+    assert t > 0
+    assert stats.total_compute().shape == (2,)
+
+
+def test_payload_nbytes():
+    assert payload_nbytes(np.ones(4)) == 32
+    assert payload_nbytes((np.ones(2), np.ones(2))) == 32
+    assert payload_nbytes(3.0) == 8
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes({1: np.ones(1)}) == 16
+    assert payload_nbytes("abcd") == 4
+    assert payload_nbytes(object()) == 64

@@ -1,0 +1,35 @@
+"""Smoke tests: the shipped examples must run clean end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "formats_tour.py", "custom_format.py", "sparse_blas.py"],
+)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples should print something"
+
+
+def test_parallel_cg_example_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "parallel_cg.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "yes" in proc.stdout  # all variants matched the sequential solve
