@@ -12,6 +12,11 @@ Usage::
 Options: ``--procs 2,4,8`` for the parallel experiments, ``--cells N`` for
 the per-rank weak-scaling size, ``--fig4-procs 8,64``.  EXPERIMENTS.md
 records a full run.
+
+``--trace out.json`` records the whole run — compiler spans, per-rank
+phase spans, communication matrices — as Chrome ``trace_event`` JSON;
+inspect it with ``chrome://tracing`` or
+``python -m repro.observability.report out.json``.
 """
 
 from __future__ import annotations
@@ -22,6 +27,10 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401  (installed, or on PYTHONPATH)
+except ModuleNotFoundError:  # run from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
@@ -139,7 +148,15 @@ def main(argv=None):
     ap.add_argument("--fig4-procs", default="8,64", help="processor counts for figure 4")
     ap.add_argument("--cells", type=int, default=None, help="grid cells per rank (default from REPRO_BENCH_SCALE)")
     ap.add_argument("--min-time", type=float, default=0.15, help="per-cell measurement budget for table 1")
+    ap.add_argument("--trace", metavar="OUT.json", default=None,
+                    help="save a Chrome-trace of the run (compiler spans, "
+                         "per-rank phases, comm matrices)")
     args = ap.parse_args(argv)
+    tracer = None
+    if args.trace:
+        from repro.observability import enable_tracing
+
+        tracer = enable_tracing(process_name=f"harness:{args.what}")
     steps = {
         "table1": cmd_table1,
         "table2": cmd_table2,
@@ -147,12 +164,21 @@ def main(argv=None):
         "fig4": cmd_fig4,
         "ablations": cmd_ablations,
     }
-    if args.what == "all":
-        for name in ("table1", "table2", "table3", "fig4", "ablations"):
-            steps[name](args)
-            print()
-    else:
-        steps[args.what](args)
+    try:
+        if args.what == "all":
+            for name in ("table1", "table2", "table3", "fig4", "ablations"):
+                steps[name](args)
+                print()
+        else:
+            steps[args.what](args)
+    finally:
+        if tracer is not None:
+            from repro.observability import disable_tracing
+
+            tracer.save(args.trace)
+            disable_tracing()
+            print(f"[trace: {len(tracer.records)} events -> {args.trace}; "
+                  f"view with python -m repro.observability.report {args.trace}]")
 
 
 if __name__ == "__main__":

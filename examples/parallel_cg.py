@@ -17,7 +17,8 @@ counts.  Run::
 
 import numpy as np
 
-from repro import CRSMatrix, cg, parallel_cg, spmv, stencil_matrix
+from repro import CRSMatrix, cg, parallel_cg, render_comm_matrix, spmv, stencil_matrix
+from repro.observability import render_phase_breakdown
 from repro.runtime import CommModel
 
 
@@ -36,8 +37,9 @@ def main() -> None:
     P = 4
     comm = CommModel()
     print(f"{'variant':<12} {'=seq?':>6} {'exec(s)':>9} {'insp(s)':>9} {'msgs':>7} {'MB':>7}")
+    last = None
     for variant in ("blocksolve", "mixed-bs", "global-bs"):
-        res = parallel_cg(coo, b, nprocs=P, variant=variant, niter=niter)
+        res = last = parallel_cg(coo, b, nprocs=P, variant=variant, niter=niter)
         same = np.allclose(res.x, seq.x, atol=1e-8)
         ex = res.stats.window("executor").parallel_time(comm)
         insp = res.stats.window("inspector").parallel_time(comm)
@@ -49,6 +51,14 @@ def main() -> None:
 
     print("\nall three strategies reproduce the sequential iterates exactly;")
     print("they differ in inspector work and executor indirection (Tables 2-3).")
+
+    # observability: who talked to whom, and where the time went
+    # (for the last variant run — the naive fully-global specification)
+    stats = last.stats
+    print()
+    print(render_comm_matrix(stats.comm_matrix(), title="global-bs rank-to-rank bytes"))
+    print()
+    print(render_phase_breakdown(stats, comm))
 
 
 if __name__ == "__main__":

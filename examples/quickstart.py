@@ -15,6 +15,7 @@ from repro import (
     CRSMatrix,
     DenseVector,
     compile_kernel,
+    explain,
 )
 
 # the paper's running example (Sec. 2): y = A x
@@ -50,6 +51,11 @@ def main() -> None:
     kernel = compile_kernel(SPMV, formats={"A": A, "X": DenseVector(x), "Y": DenseVector.zeros(n)})
     print("--- the plan the optimizer chose for CRS ---")
     print(kernel.describe_plans())
+
+    # full planner post-mortem: join order, join method per term, and the
+    # alternatives the optimizer rejected (see repro.observability)
+    print("--- explain(kernel) ---")
+    print(explain(kernel))
 
 
 if __name__ == "__main__":

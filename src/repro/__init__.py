@@ -68,6 +68,17 @@ from repro.matrices import (
     table1_matrix,
     write_matrix_market,
 )
+from repro.observability import (
+    Tracer,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    explain,
+    get_tracer,
+    render_comm_matrix,
+    render_phase_breakdown,
+)
 from repro.runtime import CommModel, Machine
 from repro.solvers import (
     CGResult,
@@ -129,6 +140,16 @@ __all__ = [
     "TABLE1_MATRICES",
     "read_matrix_market",
     "write_matrix_market",
+    # observability
+    "explain",
+    "Tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "get_tracer",
+    "enable_metrics",
+    "disable_metrics",
+    "render_comm_matrix",
+    "render_phase_breakdown",
     # runtime + solvers
     "Machine",
     "CommModel",

@@ -25,6 +25,7 @@ from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Num, Program, Ref
 from repro.compiler.scheduling import Plan, Step
 from repro.errors import CompileError
 from repro.formats.base import Emitter, Format
+from repro.observability.trace import span
 
 __all__ = ["generate_source", "KernelUnit"]
 
@@ -665,25 +666,34 @@ def generate_source(
     func_name: str = "kernel",
 ) -> str:
     """Emit the full kernel function for the program's plan units."""
-    g = Emitter()
-    g.emit(f"def {func_name}({', '.join(param_names)}):")
-    g.depth += 1
-    body_start = len(g.lines)
-    for unit in units:
-        if not unit.stmt.reduce:
-            # plain assignment: zero-fill then guarded accumulate
-            _zero_fill(g, unit.stmt.target, formats)
-        if unit.plan.noop:
-            continue
-        if vectorize and _segmented_vectorizable(unit, formats):
-            _emit_segmented_nest(g, program, unit, formats)
-        elif vectorize and _block_vectorizable(unit, formats):
-            _emit_block_nest(g, program, unit, formats)
-        elif vectorize and _vectorizable(unit, formats):
-            _emit_vector_nest(g, program, unit, formats)
-        else:
-            _emit_scalar_nest(g, program, unit, formats)
-    if len(g.lines) == body_start:
-        g.emit("pass")
-    g.depth -= 1
-    return g.source()
+    with span("compiler.codegen", units=len(units), vectorize=vectorize) as sp:
+        g = Emitter()
+        g.emit(f"def {func_name}({', '.join(param_names)}):")
+        g.depth += 1
+        body_start = len(g.lines)
+        backends: list[str] = []
+        for unit in units:
+            if not unit.stmt.reduce:
+                # plain assignment: zero-fill then guarded accumulate
+                _zero_fill(g, unit.stmt.target, formats)
+            if unit.plan.noop:
+                backends.append("noop")
+                continue
+            if vectorize and _segmented_vectorizable(unit, formats):
+                backends.append("segmented")
+                _emit_segmented_nest(g, program, unit, formats)
+            elif vectorize and _block_vectorizable(unit, formats):
+                backends.append("block-gemv")
+                _emit_block_nest(g, program, unit, formats)
+            elif vectorize and _vectorizable(unit, formats):
+                backends.append("vectorized")
+                _emit_vector_nest(g, program, unit, formats)
+            else:
+                backends.append("scalar")
+                _emit_scalar_nest(g, program, unit, formats)
+        if len(g.lines) == body_start:
+            g.emit("pass")
+        g.depth -= 1
+        src = g.source()
+        sp.set(backends=backends, lines=len(g.lines), chars=len(src))
+    return src

@@ -21,7 +21,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.compiler import codegen
-from repro.compiler.ast_nodes import Assign, Program
+from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Program
 from repro.compiler.codegen import KernelUnit
 from repro.compiler.parser import parse
 from repro.compiler.query_extract import extract_query
@@ -29,8 +29,50 @@ from repro.compiler.scheduling import plan_query
 from repro.compiler.sparsity import split_statement
 from repro.errors import CompileError
 from repro.formats.base import Format
+from repro.observability import metrics as _metrics
+from repro.observability import trace as _trace
 
-__all__ = ["CompiledKernel", "compile_kernel", "clear_kernel_cache"]
+__all__ = [
+    "CompiledKernel",
+    "KernelCounters",
+    "compile_kernel",
+    "clear_kernel_cache",
+]
+
+
+@dataclass(frozen=True)
+class KernelCounters:
+    """Work counters for one kernel invocation (Table-1 methodology).
+
+    ``flops`` counts one floating-point operation per arithmetic operator
+    per driven entry plus one for the accumulate — for CRS SpMV that is
+    the classic ``2·nnz``.  ``nnz_touched`` sums the stored entries of
+    every sparse operand; ``rows_visited`` sums the output rows written.
+    """
+
+    flops: float = 0.0
+    nnz_touched: int = 0
+    rows_visited: int = 0
+
+    def mflops(self, seconds: float) -> float:
+        """MFlop/s at these counters over ``seconds`` of wall time."""
+        return self.flops / seconds / 1e6 if seconds > 0 else float("nan")
+
+    def __add__(self, other: "KernelCounters") -> "KernelCounters":
+        return KernelCounters(
+            self.flops + other.flops,
+            self.nnz_touched + other.nnz_touched,
+            self.rows_visited + other.rows_visited,
+        )
+
+
+def _count_flop_ops(expr: Expr) -> int:
+    """Arithmetic operators in an expression tree (negation included)."""
+    if isinstance(expr, BinOp):
+        return 1 + _count_flop_ops(expr.left) + _count_flop_ops(expr.right)
+    if isinstance(expr, Neg):
+        return 1 + _count_flop_ops(expr.operand)
+    return 0
 
 _CACHE: dict[tuple, "CompiledKernel"] = {}
 
@@ -60,6 +102,14 @@ class CompiledKernel:
         self.vectorize = vectorize
         self.scalar_names = sorted(program.scalar_names())
         self._bound_vars = self._bound_var_rules(formats)
+        # per-unit flops per driven entry: operators in the expression plus
+        # one for the accumulate into the target
+        self._ops_per_entry = [
+            _count_flop_ops(u.stmt.expr) + 1 for u in units
+        ]
+        #: counters of the most recent ``__call__`` (None until metrics or
+        #: tracing is enabled — counting is skipped on the bare fast path)
+        self.last_counters: KernelCounters | None = None
         storage_keys: list[str] = []
         for name, fmt in sorted(formats.items()):
             keys = sorted(fmt.storage(name).keys())
@@ -103,6 +153,57 @@ class CompiledKernel:
         return "\n\n".join(out)
 
     # ------------------------------------------------------------------
+    def counters(self, **bindings) -> KernelCounters:
+        """Estimated work counters for one invocation on these bindings.
+
+        Accepts the same array bindings as :meth:`__call__` (scalars are
+        ignored).  The estimate drives MFlop/s reporting: driven entries
+        are the driver's stored nonzeros (or the dense iteration product),
+        each costing the statement's operator count plus the accumulate.
+        """
+        arrays = {
+            n: v for n, v in bindings.items() if isinstance(v, Format)
+        }
+        return self._counters_for(arrays)
+
+    def _counters_for(self, arrays: Mapping[str, Format]) -> KernelCounters:
+        extents: dict[str, int] = {}
+        for rule in self._bound_vars:
+            if rule.hi_symbol.isdigit():
+                extents[rule.var] = int(rule.hi_symbol)
+            elif rule.anchors and rule.anchors[0][0] in arrays:
+                arr, axis = rule.anchors[0]
+                extents[rule.var] = int(arrays[arr].shape[axis])
+        total = KernelCounters()
+        for unit, ops in zip(self.units, self._ops_per_entry):
+            plan = unit.plan
+            if plan.noop:
+                continue
+            if plan.driver is not None and plan.driver in arrays:
+                entries = int(arrays[plan.driver].nnz)
+            else:
+                entries = 1
+                for iv in plan.query.index_vars:
+                    entries *= extents.get(iv.name, 1)
+            # dense loops below a sparse driver multiply the entry count
+            if plan.driver is not None:
+                for step in plan.steps:
+                    if step.kind == "dense":
+                        entries *= extents.get(step.var, 1)
+            nnz = sum(
+                int(arrays[t.array].nnz)
+                for t in plan.query.terms
+                if t.array in arrays
+                and not arrays[t.array].structurally_dense
+            )
+            target = unit.stmt.target.array
+            rows = (
+                int(arrays[target].shape[0]) if target in arrays else 0
+            )
+            total = total + KernelCounters(float(ops * entries), nnz, rows)
+        return total
+
+    # ------------------------------------------------------------------
     def bind(self, **bindings):
         """Pre-bind storage and scalars; returns a zero-argument callable.
 
@@ -114,9 +215,17 @@ class CompiledKernel:
         ns = self._build_namespace(bindings)
         args = tuple(ns[k] for k in self.param_names)
         fn = self._fn
+        counters = self._counters_for(
+            {n: v for n, v in bindings.items() if isinstance(v, Format)}
+        )
 
         def bound() -> None:
             fn(*args)
+            if _metrics.metrics_enabled():
+                _metrics.record("kernel.calls")
+                _metrics.record("kernel.flops", counters.flops)
+                _metrics.record("kernel.nnz_touched", counters.nnz_touched)
+                _metrics.record("kernel.rows_visited", counters.rows_visited)
 
         return bound
 
@@ -124,7 +233,28 @@ class CompiledKernel:
         """Run the kernel.  Pass each array as a Format instance of the
         compiled class, plus any free scalars.  Outputs mutate in place."""
         ns = self._build_namespace(bindings)
-        self._fn(**{k: ns[k] for k in self.param_names})
+        if _metrics.metrics_enabled() or _trace.tracing_enabled():
+            self._instrumented_call(ns, bindings)
+        else:
+            self._fn(**{k: ns[k] for k in self.param_names})
+
+    def _instrumented_call(self, ns: dict, bindings: Mapping) -> None:
+        """Slow path: run under a span, count flops/nnz/rows, record."""
+        arrays = {n: v for n, v in bindings.items() if isinstance(v, Format)}
+        c = self._counters_for(arrays)
+        self.last_counters = c
+        with _trace.span(
+            "kernel.call",
+            flops=c.flops,
+            nnz_touched=c.nnz_touched,
+            rows_visited=c.rows_visited,
+            arrays={n: type(v).__name__ for n, v in arrays.items()},
+        ):
+            self._fn(**{k: ns[k] for k in self.param_names})
+        _metrics.record("kernel.calls")
+        _metrics.record("kernel.flops", c.flops)
+        _metrics.record("kernel.nnz_touched", c.nnz_touched)
+        _metrics.record("kernel.rows_visited", c.rows_visited)
 
     def _build_namespace(self, bindings) -> dict:
         ns: dict[str, object] = {}
@@ -198,47 +328,62 @@ def compile_kernel(
     force_driver:
         Pin the planner's primary driver (ablation hook).
     """
-    program = parse(source) if isinstance(source, str) else source
-    for name in program.arrays():
-        if name not in formats:
-            raise CompileError(f"no format given for array {name!r}")
-    key = None
-    if cache:
-        key = (
-            repr(program),
-            tuple(sorted((n, type(f).__qualname__) for n, f in formats.items())),
-            vectorize,
-            force_driver,
-            allow_merge,
-        )
-        hit = _CACHE.get(key)
-        if hit is not None:
-            return hit
-
-    sparse = {
-        name
-        for name in program.arrays()
-        if not formats[name].structurally_dense
-    }
-    units: list[KernelUnit] = []
-    loop_vars = {l.var for l in program.loops}
-    for stmt in program.body:
-        for piece in split_statement(stmt):
-            if not piece.reduce:
-                free = loop_vars - set(piece.target.indices)
-                if free:
-                    raise CompileError(
-                        f"plain assignment {piece!r} has free loop vars "
-                        f"{sorted(free)}; write the reduction with '+='"
-                    )
-            query = extract_query(program, piece, sparse)
-            plan = plan_query(
-                query, dict(formats), force_driver=force_driver, allow_merge=allow_merge
+    with _trace.span(
+        "compiler.compile_kernel",
+        vectorize=vectorize,
+        force_driver=force_driver,
+        formats={n: type(f).__name__ for n, f in formats.items()},
+    ) as sp:
+        program = parse(source) if isinstance(source, str) else source
+        for name in program.arrays():
+            if name not in formats:
+                raise CompileError(f"no format given for array {name!r}")
+        key = None
+        if cache:
+            key = (
+                repr(program),
+                tuple(sorted((n, type(f).__qualname__) for n, f in formats.items())),
+                vectorize,
+                force_driver,
+                allow_merge,
             )
-            units.append(KernelUnit(piece, plan))
-    kern = CompiledKernel(program, units, formats, vectorize)
-    if cache and key is not None:
-        _CACHE[key] = kern
+            hit = _CACHE.get(key)
+            if hit is not None:
+                sp.set(cache_hit=True)
+                _metrics.record("compiler.cache_hits")
+                return hit
+        sp.set(cache_hit=False)
+        _metrics.record("compiler.compilations")
+
+        sparse = {
+            name
+            for name in program.arrays()
+            if not formats[name].structurally_dense
+        }
+        units: list[KernelUnit] = []
+        loop_vars = {l.var for l in program.loops}
+        for stmt in program.body:
+            for piece in split_statement(stmt):
+                if not piece.reduce:
+                    free = loop_vars - set(piece.target.indices)
+                    if free:
+                        raise CompileError(
+                            f"plain assignment {piece!r} has free loop vars "
+                            f"{sorted(free)}; write the reduction with '+='"
+                        )
+                query = extract_query(program, piece, sparse)
+                plan = plan_query(
+                    query, dict(formats), force_driver=force_driver, allow_merge=allow_merge
+                )
+                units.append(KernelUnit(piece, plan))
+        kern = CompiledKernel(program, units, formats, vectorize)
+        sp.set(
+            units=len(units),
+            drivers=[u.plan.driver for u in units],
+            source_chars=len(kern.source),
+        )
+        if cache and key is not None:
+            _CACHE[key] = kern
     return kern
 
 

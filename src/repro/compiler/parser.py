@@ -34,6 +34,7 @@ from repro.compiler.ast_nodes import (
     normalize_statement,
 )
 from repro.errors import ParseError
+from repro.observability.trace import span
 
 __all__ = ["parse", "tokenize"]
 
@@ -189,4 +190,13 @@ class _Parser:
 
 def parse(src: str) -> Program:
     """Parse mini-language source into a :class:`Program`."""
-    return _Parser(tokenize(src)).parse_program()
+    with span("compiler.parse", chars=len(src)) as sp:
+        tokens = tokenize(src)
+        program = _Parser(tokens).parse_program()
+        sp.set(
+            tokens=len(tokens),
+            loops=[l.var for l in program.loops],
+            statements=len(program.body),
+            arrays=sorted(program.arrays()),
+        )
+    return program

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.compiler.ast_nodes import Assign, Program
 from repro.compiler.sparsity import sparsity_predicate
 from repro.errors import CompileError
+from repro.observability.trace import span
 from repro.relational.query import IndexVar, Query, RelTerm
 
 __all__ = ["extract_query"]
@@ -28,22 +29,29 @@ def extract_query(program: Program, stmt: Assign, sparse: frozenset[str] | set[s
     ``sparse`` — names of arrays with sparse storage (everything else is
     structurally dense).
     """
-    index_vars = tuple(IndexVar(l.var, l.lo, l.hi) for l in program.loops)
+    with span("compiler.extract_query", statement=repr(stmt)) as sp:
+        index_vars = tuple(IndexVar(l.var, l.lo, l.hi) for l in program.loops)
 
-    seen: dict[str, tuple[str, ...]] = {}
-    order: list[str] = []
-    for ref in (stmt.target,) + stmt.expr.refs():
-        if ref.array in seen:
-            if seen[ref.array] != ref.indices:
-                raise CompileError(
-                    f"array {ref.array!r} referenced with two different index "
-                    f"tuples ({seen[ref.array]} and {ref.indices}); "
-                    "unsupported in this DOANY subset"
-                )
-        else:
-            seen[ref.array] = ref.indices
-            order.append(ref.array)
+        seen: dict[str, tuple[str, ...]] = {}
+        order: list[str] = []
+        for ref in (stmt.target,) + stmt.expr.refs():
+            if ref.array in seen:
+                if seen[ref.array] != ref.indices:
+                    raise CompileError(
+                        f"array {ref.array!r} referenced with two different index "
+                        f"tuples ({seen[ref.array]} and {ref.indices}); "
+                        "unsupported in this DOANY subset"
+                    )
+            else:
+                seen[ref.array] = ref.indices
+                order.append(ref.array)
 
-    terms = tuple(RelTerm(a, seen[a], value=f"v_{a}") for a in order)
-    predicate = sparsity_predicate(stmt.expr, sparse)
-    return Query(index_vars, terms, predicate, output=stmt.target.array)
+        terms = tuple(RelTerm(a, seen[a], value=f"v_{a}") for a in order)
+        predicate = sparsity_predicate(stmt.expr, sparse)
+        query = Query(index_vars, terms, predicate, output=stmt.target.array)
+        sp.set(
+            terms=[repr(t) for t in terms],
+            predicate=repr(predicate),
+            sparse=sorted(sparse),
+        )
+    return query

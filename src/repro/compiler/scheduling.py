@@ -21,12 +21,13 @@ force a driver (the join-order ablation bench does).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.errors import PlanningError
 from repro.formats.base import Format
+from repro.observability.trace import span
 from repro.relational.predicates import NZ, to_dnf
 from repro.relational.query import Query, RelTerm
 
@@ -86,6 +87,11 @@ class Plan:
     accesses: tuple[TermAccess, ...]
     cost: float
     noop: bool = False  # predicate is FALSE: nothing to execute
+    #: every candidate driver the planner weighed, as
+    #: ``(driver_name_or_None, cost_or_None, verdict)`` — verdict is
+    #: ``"chosen"``, ``"rejected: ..."`` or ``"illegal: ..."``.  Feeds
+    #: ``repro.observability.explain``.
+    considered: tuple[tuple[str | None, float | None, str], ...] = ()
 
     def describe(self) -> str:
         """Human-readable plan summary (used in docs and tests)."""
@@ -317,17 +323,54 @@ def plan_query(
 
     best: Plan | None = None
     errors: list[str] = []
-    for cand in candidates:
-        try:
-            plan = _try_schedule(query, formats, conjunct, cand, allow_merge)
-        except PlanningError as e:
-            errors.append(str(e))
-            continue
-        if plan is None:
-            continue
-        if best is None or plan.cost < best.cost:
-            best = plan
-    if best is None:
-        detail = ("; ".join(errors)) or "no candidate driver admits a legal schedule"
-        raise PlanningError(f"cannot plan query {query!r}: {detail}")
+    considered: list[tuple[str | None, float | None, str]] = []
+    with span(
+        "compiler.plan_query",
+        query=repr(query),
+        candidates=[c.array if c is not None else None for c in candidates],
+    ) as sp:
+        for cand in candidates:
+            name = cand.array if cand is not None else None
+            try:
+                plan = _try_schedule(query, formats, conjunct, cand, allow_merge)
+            except PlanningError as e:
+                errors.append(str(e))
+                considered.append((name, None, f"illegal: {e}"))
+                continue
+            if plan is None:
+                considered.append(
+                    (
+                        name,
+                        None,
+                        "illegal: no legal schedule (unsearchable level, "
+                        "unenumerable level, or sparse output)",
+                    )
+                )
+                continue
+            considered.append((name, plan.cost, ""))
+            if best is None or plan.cost < best.cost:
+                best = plan
+        if best is None:
+            detail = ("; ".join(errors)) or "no candidate driver admits a legal schedule"
+            raise PlanningError(f"cannot plan query {query!r}: {detail}")
+        considered = [
+            (
+                name,
+                cost,
+                verdict
+                or (
+                    "chosen"
+                    if name == best.driver and cost == best.cost
+                    else f"rejected: cost {cost:g} vs best {best.cost:g}"
+                ),
+            )
+            for name, cost, verdict in considered
+        ]
+        best = replace(best, considered=tuple(considered))
+        sp.set(
+            driver=best.driver,
+            cost=best.cost,
+            steps=[repr(s) for s in best.steps],
+            access={a.term.array: a.mode for a in best.accesses},
+        )
     return best

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Num, Ref, Scalar
 from repro.errors import SparsityError
+from repro.observability.trace import span
 from repro.relational.predicates import NZ, Predicate, TruePred, FalsePred, conj, disj
 
 __all__ = ["sparsity_predicate", "split_statement", "distribute"]
@@ -122,9 +123,12 @@ def split_statement(stmt: Assign) -> list[Assign]:
     by ``+=`` statements for the remaining terms.  Statements that are not
     top-level sums are returned unchanged.
     """
-    terms = _additive_terms(distribute(stmt.expr), negate=False)
-    if len(terms) == 1:
-        return [stmt]
-    out = [Assign(stmt.target, terms[0], reduce=stmt.reduce)]
-    out.extend(Assign(stmt.target, t, reduce=True) for t in terms[1:])
+    with span("compiler.split_statement", statement=repr(stmt)) as sp:
+        terms = _additive_terms(distribute(stmt.expr), negate=False)
+        if len(terms) == 1:
+            sp.set(pieces=1)
+            return [stmt]
+        out = [Assign(stmt.target, terms[0], reduce=stmt.reduce)]
+        out.extend(Assign(stmt.target, t, reduce=True) for t in terms[1:])
+        sp.set(pieces=len(out), split=[repr(s) for s in out])
     return out

@@ -19,6 +19,8 @@ __all__ = [
     "DistributionError",
     "RuntimeMachineError",
     "InspectorError",
+    "PhaseNotFoundError",
+    "ObservabilityError",
 ]
 
 
@@ -60,3 +62,19 @@ class RuntimeMachineError(ReproError):
 
 class InspectorError(ReproError):
     """Inspector could not build a valid communication schedule."""
+
+
+class PhaseNotFoundError(RuntimeMachineError, KeyError):
+    """A named phase marker does not exist in the run's statistics.
+
+    Subclasses :class:`KeyError` so ``stats.phase("nope")`` reads like a
+    failed dict lookup, and :class:`RuntimeMachineError` so blanket library
+    handlers still catch it.
+    """
+
+    def __str__(self) -> str:  # KeyError repr-quotes its argument
+        return Exception.__str__(self)
+
+
+class ObservabilityError(ReproError):
+    """Tracing / metrics / explain misuse (bad trace file, wrong target)."""

@@ -7,6 +7,7 @@ import numpy as np
 from repro.compiler import compile_kernel
 from repro.formats.base import Format
 from repro.formats.dense import DenseMatrix
+from repro.observability.trace import span
 
 __all__ = ["spmm", "SPMM_SRC"]
 
@@ -27,6 +28,12 @@ def spmm(A: Format, B, C=None, vectorize: bool = True) -> np.ndarray:
     Bf = B if isinstance(B, Format) else DenseMatrix(np.asarray(B, dtype=np.float64))
     cv = np.zeros((A.shape[0], Bf.shape[1])) if C is None else C
     Cf = DenseMatrix(cv) if not isinstance(cv, DenseMatrix) else cv
-    k = compile_kernel(SPMM_SRC, {"A": A, "B": Bf, "C": Cf}, vectorize=vectorize)
-    k(A=A, B=Bf, C=Cf)
+    with span(
+        "kernels.spmm",
+        format=type(A).__name__,
+        nnz=A.nnz,
+        width=Bf.shape[1],
+    ):
+        k = compile_kernel(SPMM_SRC, {"A": A, "B": Bf, "C": Cf}, vectorize=vectorize)
+        k(A=A, B=Bf, C=Cf)
     return Cf.vals

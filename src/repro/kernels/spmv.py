@@ -8,6 +8,8 @@ from repro.compiler import compile_kernel
 from repro.formats.base import Format
 from repro.formats.blocksolve import BlockSolveMatrix
 from repro.formats.dense import DenseVector
+from repro.observability import metrics as _metrics
+from repro.observability.trace import span
 
 __all__ = ["spmv", "spmv_transpose", "SPMV_SRC", "SPMV_T_SRC"]
 
@@ -26,7 +28,12 @@ def spmv(A: Format, x, y=None, vectorize: bool = True) -> np.ndarray:
     """
     xv = x.vals if isinstance(x, DenseVector) else np.asarray(x, dtype=np.float64)
     if isinstance(A, BlockSolveMatrix):
-        out = A.matvec(xv)
+        # hand-written library path: count the 2·nnz flops it performs
+        with span("kernels.spmv", format="BlockSolveMatrix", flops=2.0 * A.nnz):
+            out = A.matvec(xv)
+        _metrics.record("kernel.flops", 2.0 * A.nnz)
+        _metrics.record("kernel.nnz_touched", A.nnz)
+        _metrics.record("kernel.rows_visited", A.shape[0])
         if y is None:
             return out
         yv = y.vals if isinstance(y, DenseVector) else y
@@ -34,8 +41,9 @@ def spmv(A: Format, x, y=None, vectorize: bool = True) -> np.ndarray:
         return yv
     yv = np.zeros(A.shape[0]) if y is None else (y.vals if isinstance(y, DenseVector) else y)
     X, Y = DenseVector(xv), DenseVector(yv)
-    k = compile_kernel(SPMV_SRC, {"A": A, "X": X, "Y": Y}, vectorize=vectorize)
-    k(A=A, X=X, Y=Y)
+    with span("kernels.spmv", format=type(A).__name__, nnz=A.nnz):
+        k = compile_kernel(SPMV_SRC, {"A": A, "X": X, "Y": Y}, vectorize=vectorize)
+        k(A=A, X=X, Y=Y)
     return Y.vals
 
 

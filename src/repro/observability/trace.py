@@ -1,0 +1,342 @@
+"""Span tracing for the compiler pipeline and the SPMD runtime.
+
+A :class:`Tracer` records *spans* — named, timed intervals carrying
+structured attributes — organized per thread (compiler phases) and per
+simulated rank (runtime supersteps).  The design goals, in order:
+
+1. **Near-zero overhead when disabled.**  Instrumented call sites go
+   through the module-level :func:`span` helper; with no active tracer it
+   returns a shared no-op context manager without allocating anything.
+2. **Exception safety.**  A span closes (and is recorded) even when the
+   traced code raises; nesting is tracked per thread so concurrent
+   compilations do not interleave their trees.
+3. **Standard export.**  :meth:`Tracer.to_chrome` emits the Chrome
+   ``trace_event`` JSON object format (load it in ``chrome://tracing`` or
+   Perfetto); :meth:`Tracer.from_chrome` round-trips it back so saved
+   traces can be re-rendered by ``python -m repro.observability.report``.
+
+Typical use::
+
+    from repro.observability import enable_tracing, get_tracer
+
+    tracer = enable_tracing()
+    ... compile / run ...
+    tracer.save("trace.json")
+    print(tracer.render_tree())
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "instant",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (or instant event when ``dur`` is None)."""
+
+    name: str
+    ts: float  # microseconds since the tracer's epoch
+    dur: float | None  # microseconds; None for instant events
+    tid: int | str
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+    error: str | None = None
+
+
+class _NullSpan:
+    """Shared no-op span: the entire disabled-tracer fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager recording one interval into its tracer."""
+
+    __slots__ = ("tracer", "name", "args", "_t0", "_ts", "_depth", "_tid")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict):
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+
+    def set(self, **attrs):
+        """Attach attributes to the span after it was opened."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self):
+        tr = self.tracer
+        local = tr._local
+        self._tid = getattr(local, "tid", None)
+        if self._tid is None:
+            self._tid = local.tid = threading.get_ident() % 100000
+        self._depth = getattr(local, "depth", 0)
+        local.depth = self._depth + 1
+        self._ts = tr._now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        tr = self.tracer
+        dur = tr._now_us() - self._ts
+        tr._local.depth = self._depth
+        tr._record(
+            SpanRecord(
+                name=self.name,
+                ts=self._ts,
+                dur=dur,
+                tid=self._tid,
+                depth=self._depth,
+                args=self.args,
+                error=None if exc is None else f"{type(exc).__name__}: {exc}",
+            )
+        )
+        return False  # never swallow exceptions
+
+
+class Tracer:
+    """Thread-safe span collector with Chrome-trace import/export."""
+
+    def __init__(self, process_name: str = "repro"):
+        self.process_name = process_name
+        self._epoch = time.perf_counter()
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def _record(self, rec: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(rec)
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Open a span; use as ``with tracer.span("phase", k=v) as s:``."""
+        return _Span(self, name, attrs)
+
+    def instant(self, name: str, tid: int | str = 0, **attrs) -> None:
+        """Record a zero-duration marker event (e.g. a comm matrix dump)."""
+        self._record(SpanRecord(name, self._now_us(), None, tid, 0, attrs))
+
+    def add_complete(
+        self,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        tid: int | str = 0,
+        depth: int = 0,
+        **attrs,
+    ) -> None:
+        """Record an externally-timed complete span (used by the simulated
+        machine, whose per-rank timings are not measured on this thread)."""
+        self._record(SpanRecord(name, ts_us, dur_us, tid, depth, attrs))
+
+    @property
+    def records(self) -> list[SpanRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    # ------------------------------------------------------------------
+    # Chrome trace_event JSON
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """The Chrome ``trace_event`` *object* form: a ``traceEvents`` list
+        of complete ("X") and instant ("i") events."""
+        events = []
+        for r in self.records:
+            ev = {
+                "name": r.name,
+                "cat": r.name.split(".")[0].split("/")[0],
+                "pid": self.process_name,
+                "tid": r.tid,
+                "ts": r.ts,
+                "args": _jsonable(r.args),
+            }
+            if r.dur is None:
+                ev["ph"] = "i"
+                ev["s"] = "p"
+            else:
+                ev["ph"] = "X"
+                ev["dur"] = r.dur
+            if r.error:
+                ev["args"]["error"] = r.error
+            events.append(ev)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def save(self, path) -> None:
+        """Write the Chrome-trace JSON to ``path``."""
+        with open(path, "w") as f:
+            json.dump(self.to_chrome(), f, indent=1)
+
+    @classmethod
+    def from_chrome(cls, doc: dict | list) -> "Tracer":
+        """Rebuild a tracer from a Chrome-trace document (round-trip of
+        :meth:`to_chrome`; also accepts the bare-list array form)."""
+        events = doc["traceEvents"] if isinstance(doc, dict) else doc
+        tr = cls(
+            process_name=(
+                str(events[0].get("pid", "repro")) if events else "repro"
+            )
+        )
+        for ev in events:
+            args = dict(ev.get("args", {}))
+            err = args.pop("error", None)
+            tr._records.append(
+                SpanRecord(
+                    name=ev.get("name", "?"),
+                    ts=float(ev.get("ts", 0.0)),
+                    dur=float(ev["dur"]) if ev.get("ph") == "X" else None,
+                    tid=ev.get("tid", 0),
+                    args=args,
+                    error=err,
+                )
+            )
+        return tr
+
+    @classmethod
+    def load(cls, path) -> "Tracer":
+        with open(path) as f:
+            return cls.from_chrome(json.load(f))
+
+    # ------------------------------------------------------------------
+    # human-readable rendering
+    # ------------------------------------------------------------------
+    def render_tree(self, max_attrs: int = 4) -> str:
+        """Indented per-thread span tree: nesting inferred from interval
+        containment within each tid, in start order."""
+        by_tid: dict = {}
+        for r in self.records:
+            by_tid.setdefault(r.tid, []).append(r)
+        lines: list[str] = []
+        for tid in sorted(by_tid, key=str):
+            recs = sorted(by_tid[tid], key=lambda r: (r.ts, -(r.dur or 0.0)))
+            lines.append(f"[tid {tid}]")
+            stack: list[SpanRecord] = []  # open ancestors
+            for r in recs:
+                while stack and not _contains(stack[-1], r):
+                    stack.pop()
+                indent = "  " * (len(stack) + 1)
+                attrs = ", ".join(
+                    f"{k}={_short(v)}" for k, v in list(r.args.items())[:max_attrs]
+                )
+                dur = "instant" if r.dur is None else f"{r.dur / 1000.0:.3f} ms"
+                err = f"  !! {r.error}" if r.error else ""
+                lines.append(
+                    f"{indent}{r.name}  [{dur}]" + (f"  ({attrs})" if attrs else "") + err
+                )
+                if r.dur is not None:
+                    stack.append(r)
+        return "\n".join(lines)
+
+
+def _contains(outer: SpanRecord, inner: SpanRecord) -> bool:
+    if outer.dur is None:
+        return False
+    end = outer.ts + outer.dur
+    return outer.ts <= inner.ts and (inner.ts + (inner.dur or 0.0)) <= end + 1e-6
+
+
+def _short(v, limit: int = 48) -> str:
+    s = str(v)
+    return s if len(s) <= limit else s[: limit - 1] + "…"
+
+
+def _jsonable(obj):
+    """Coerce span attributes to JSON-safe values (numpy-aware)."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    item = getattr(obj, "item", None)
+    if callable(item):
+        try:
+            return obj.item()
+        except Exception:
+            pass
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return str(obj)
+
+
+# ----------------------------------------------------------------------
+# module-level tracer (what instrumented call sites consult)
+# ----------------------------------------------------------------------
+_tracer: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The active tracer, or None when tracing is disabled."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or, with None, remove) the active tracer; returns it."""
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def enable_tracing(process_name: str = "repro") -> Tracer:
+    """Create and install a fresh tracer; returns it."""
+    return set_tracer(Tracer(process_name))
+
+
+def disable_tracing() -> None:
+    set_tracer(None)
+
+
+def tracing_enabled() -> bool:
+    return _tracer is not None
+
+
+def span(name: str, **attrs):
+    """Open a span on the active tracer — or a shared no-op when disabled.
+
+    This is the only call instrumented code pays for when tracing is off:
+    one global read and the return of a preallocated null object.
+    """
+    t = _tracer
+    if t is None:
+        return _NULL_SPAN
+    return t.span(name, **attrs)
+
+
+def instant(name: str, tid: int | str = 0, **attrs) -> None:
+    t = _tracer
+    if t is not None:
+        t.instant(name, tid, **attrs)

@@ -32,6 +32,7 @@ import numpy as np
 from repro.distribution.base import Distribution
 from repro.distribution.translation import DistributedTranslationTable, dereference
 from repro.errors import InspectorError
+from repro.observability import metrics as _metrics
 
 __all__ = [
     "GatherSchedule",
@@ -109,7 +110,22 @@ def build_schedule_replicated(rank: int, dist: Distribution, needed_global):
     for src, loc in recv.items():
         sched.send_locals[src] = np.asarray(loc, dtype=np.int64)
     sched.recv_slots = slots
+    _record_schedule(sched, needed, path="replicated")
     return sched
+
+
+def _record_schedule(sched: GatherSchedule, needed: np.ndarray, path: str) -> None:
+    """Inspector metrics: request volume, ghost count, peer fan-out."""
+    if not _metrics.metrics_enabled():
+        return
+    _metrics.record("inspector.schedules", 1, path=path)
+    _metrics.observe("inspector.requested_indices", len(needed), path=path)
+    _metrics.observe("inspector.ghosts", sched.nghost, path=path)
+    _metrics.observe(
+        "inspector.peers",
+        len(set(sched.send_locals) | set(sched.recv_slots)),
+        path=path,
+    )
 
 
 def build_schedule_translated(
@@ -137,6 +153,7 @@ def build_schedule_translated(
     for src, loc in recv.items():
         sched.send_locals[src] = np.asarray(loc, dtype=np.int64)
     sched.recv_slots = slots
+    _record_schedule(sched, needed, path="translated")
     return sched
 
 
@@ -148,6 +165,11 @@ def exchange(sched: GatherSchedule, xlocal: np.ndarray):
     """
     xlocal = np.asarray(xlocal)
     send = {q: xlocal[loc] for q, loc in sched.send_locals.items()}
+    if _metrics.metrics_enabled():
+        _metrics.record("executor.exchanges", 1)
+        _metrics.record(
+            "executor.gathered_values", sum(len(v) for v in send.values())
+        )
     recv = yield ("alltoallv", send)
     ghost = np.zeros(sched.nghost)
     if len(sched.self_slots):

@@ -27,25 +27,46 @@ from typing import Callable, Generator, Iterable
 
 import numpy as np
 
-from repro.errors import RuntimeMachineError
+from repro.errors import PhaseNotFoundError, RuntimeMachineError
+from repro.observability import metrics as _metrics
+from repro.observability import trace as _trace
 
 __all__ = ["CommModel", "PhaseStats", "RunStats", "Machine", "payload_nbytes"]
 
 
 def payload_nbytes(obj) -> int:
-    """Approximate wire size of a payload (numpy-aware)."""
+    """Approximate wire size of a payload (numpy-aware).
+
+    Branches, in order:
+
+    * ``None`` carries nothing (a pure synchronization payload),
+    * ``bool`` is one byte on the wire, not a machine word,
+    * numpy scalars (including structured ``np.void`` records) know their
+      own width — a ``float32`` costs 4, not a flat 8,
+    * numpy arrays (dense, structured, or record arrays) use ``nbytes``,
+    * Python ``int``/``float`` cost one 8-byte word,
+    * ``bytes``/``bytearray``/``str`` cost their length,
+    * mappings cost the sum over keys and values,
+    * any other sequence/iterable-like (tuple, list, range, ...) costs the
+      sum over its elements,
+    * everything else gets a flat 64-byte opaque-object estimate.
+    """
     if obj is None:
         return 0
+    if isinstance(obj, (bool, np.bool_)):
+        return 1
+    if isinstance(obj, np.generic):  # any numpy scalar, incl. structured void
+        return int(obj.nbytes)
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
-    if isinstance(obj, (int, float, np.integer, np.floating)):
+    if isinstance(obj, (int, float)):
         return 8
-    if isinstance(obj, (tuple, list)):
-        return sum(payload_nbytes(x) for x in obj)
-    if isinstance(obj, dict):
-        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
     if isinstance(obj, (bytes, bytearray, str)):
         return len(obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (tuple, list, range, set, frozenset)):
+        return sum(payload_nbytes(x) for x in obj)
     return 64  # opaque object: flat estimate
 
 
@@ -72,6 +93,10 @@ class PhaseStats:
     compute: np.ndarray  # seconds per rank since the previous superstep
     msgs: np.ndarray  # messages sent per rank
     nbytes: np.ndarray  # bytes sent per rank
+    #: rank×rank byte matrix of this superstep: entry [p, q] is what rank p
+    #: sent to rank q (allreduce bytes attributed to the ring neighbor,
+    #: allgather bytes to every peer, so the total matches ``nbytes``)
+    bytes_matrix: np.ndarray | None = None
 
     def step_time(self, model: CommModel) -> float:
         """Estimated parallel duration of this superstep: slowest rank's
@@ -104,18 +129,52 @@ class RunStats:
         model = model or CommModel()
         return sum(p.step_time(model) for p in self.phases)
 
-    def window(self, label: str) -> "RunStats":
+    def comm_matrix(self) -> np.ndarray:
+        """Rank×rank byte matrix over the whole run: entry [p, q] is what
+        rank p sent to rank q; the grand total equals ``total_nbytes()``."""
+        out = np.zeros((self.nprocs, self.nprocs), dtype=np.int64)
+        for p in self.phases:
+            if p.bytes_matrix is not None:
+                out += p.bytes_matrix
+        return out
+
+    def phase_labels(self) -> list[str]:
+        """Phase-marker labels in first-appearance order."""
+        seen: list[str] = []
+        for p in self.phases:
+            if p.kind == "phase" and p.label is not None and p.label not in seen:
+                seen.append(p.label)
+        return seen
+
+    def phase(self, label: str) -> "RunStats":
         """The sub-run between consecutive ``("phase", label)`` markers
-        named ``label`` and the next phase marker (or end of run)."""
+        named ``label`` and the next phase marker (or end of run).
+
+        Raises :class:`~repro.errors.PhaseNotFoundError` when no marker
+        with that label exists — an empty result here almost always means
+        a typo in the label, not a phase that did no work.
+        """
         out = RunStats(self.nprocs)
         active = False
+        found = False
         for p in self.phases:
             if p.kind == "phase":
                 active = p.label == label
+                found = found or active
                 continue
             if active:
                 out.phases.append(p)
+        if not found:
+            known = self.phase_labels()
+            raise PhaseNotFoundError(
+                f"no phase marker named {label!r} in this run; "
+                + (f"known phases: {known}" if known else "the run has no phase markers")
+            )
         return out
+
+    def window(self, label: str) -> "RunStats":
+        """Alias of :meth:`phase` (historical name)."""
+        return self.phase(label)
 
 
 class Machine:
@@ -145,6 +204,28 @@ class Machine:
         results: list = [None] * P
         stats = RunStats(P)
 
+        # observability: per-rank spans per phase window + comm counters
+        tracer = _trace.get_tracer()
+        win_label = "startup"
+        win_start = tracer._now_us() if tracer is not None else 0.0
+        win_compute = np.zeros(P)
+        win_msgs = np.zeros(P, dtype=np.int64)
+        win_bytes = np.zeros(P, dtype=np.int64)
+
+        def _flush_window() -> None:
+            if tracer is None or not win_compute.any() and not win_msgs.any():
+                return
+            for p in range(P):
+                tracer.add_complete(
+                    f"rank{p}/{win_label}",
+                    win_start,
+                    win_compute[p] * 1e6,
+                    tid=f"rank{p}",
+                    phase=win_label,
+                    msgs=int(win_msgs[p]),
+                    nbytes=int(win_bytes[p]),
+                )
+
         while not all(done):
             requests: list = [None] * P
             compute = np.zeros(P)
@@ -159,6 +240,7 @@ class Machine:
                     done[p] = True
                 compute[p] = time.perf_counter() - t0
                 inbox[p] = None
+            win_compute += compute
             if all(done):
                 if collect_stats:
                     stats.phases.append(
@@ -179,6 +261,7 @@ class Machine:
             kind = kinds.pop()
             msgs = np.zeros(P, dtype=np.int64)
             nbytes = np.zeros(P, dtype=np.int64)
+            bmat = np.zeros((P, P), dtype=np.int64) if collect_stats else None
             label = None
 
             if kind == "alltoallv":
@@ -191,7 +274,10 @@ class Machine:
                         recv[q][p] = payload
                         if q != p:
                             msgs[p] += 1
-                            nbytes[p] += payload_nbytes(payload)
+                            nb = payload_nbytes(payload)
+                            nbytes[p] += nb
+                            if bmat is not None:
+                                bmat[p, q] += nb
                 for p in alive:
                     inbox[p] = recv[p]
             elif kind == "allreduce":
@@ -202,13 +288,23 @@ class Machine:
                 for p in alive:
                     inbox[p] = total
                     msgs[p] += 1
-                    nbytes[p] += payload_nbytes(requests[p][1])
+                    nb = payload_nbytes(requests[p][1])
+                    nbytes[p] += nb
+                    if bmat is not None:
+                        # ring model: the reduction contribution travels to
+                        # the next rank (keeps matrix total == total bytes)
+                        bmat[p, (p + 1) % P] += nb
             elif kind == "allgather":
                 gathered = [requests[p][1] for p in alive]
                 for p in alive:
                     inbox[p] = list(gathered)
                     msgs[p] += P - 1
-                    nbytes[p] += payload_nbytes(requests[p][1]) * (P - 1)
+                    nb = payload_nbytes(requests[p][1])
+                    nbytes[p] += nb * (P - 1)
+                    if bmat is not None:
+                        for q in range(P):
+                            if q != p:
+                                bmat[p, q] += nb
             elif kind == "barrier":
                 for p in alive:
                     inbox[p] = None
@@ -221,9 +317,38 @@ class Machine:
                 label = labels.pop()
                 for p in alive:
                     inbox[p] = None
+                _flush_window()
+                win_label = str(label)
+                win_start = tracer._now_us() if tracer is not None else 0.0
+                win_compute = np.zeros(P)
+                win_msgs = np.zeros(P, dtype=np.int64)
+                win_bytes = np.zeros(P, dtype=np.int64)
             else:
                 raise RuntimeMachineError(f"unknown collective {kind!r}")
 
+            win_msgs += msgs
+            win_bytes += nbytes
+            if _metrics.metrics_enabled() and kind != "phase":
+                _metrics.record("machine.collectives", 1, kind=kind)
+                _metrics.record("machine.msgs", int(msgs.sum()), kind=kind)
+                _metrics.record("machine.bytes", int(nbytes.sum()), kind=kind)
+                _metrics.observe(
+                    "machine.superstep_compute_seconds",
+                    float(compute.max()),
+                    phase=win_label,
+                )
             if collect_stats:
-                stats.phases.append(PhaseStats(kind, label, compute, msgs, nbytes))
+                stats.phases.append(
+                    PhaseStats(kind, label, compute, msgs, nbytes, bytes_matrix=bmat)
+                )
+
+        _flush_window()
+        if tracer is not None and collect_stats:
+            tracer.instant(
+                "comm_matrix",
+                tid="machine",
+                nprocs=P,
+                matrix=stats.comm_matrix().tolist(),
+                total_bytes=stats.total_nbytes(),
+            )
         return results, stats

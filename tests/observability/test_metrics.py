@@ -1,0 +1,142 @@
+"""Metrics registry and the SPMD communication reports."""
+
+import numpy as np
+import pytest
+
+from repro.observability import metrics
+from repro.observability.metrics import (
+    REGISTRY,
+    Counter,
+    Histogram,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    phase_breakdown,
+    record,
+    render_comm_matrix,
+    render_phase_breakdown,
+)
+from repro.runtime import CommModel, Machine
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics():
+    disable_metrics()
+    REGISTRY.reset()
+    yield
+    disable_metrics()
+    REGISTRY.reset()
+
+
+def test_counter_gauge_histogram():
+    c = REGISTRY.counter("kernel.flops", format="crs")
+    c.inc(100)
+    c.inc(50)
+    assert c.value == 150
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+    g = REGISTRY.gauge("cache.size")
+    g.set(3)
+    g.dec()
+    assert g.value == 2
+
+    h = REGISTRY.histogram("msg.bytes")
+    for v in (10, 30, 20):
+        h.observe(v)
+    assert (h.count, h.total, h.min, h.max) == (3, 60, 10, 30)
+    assert h.mean == 20
+
+    # same name+labels resolves to the same instrument; labels distinguish
+    assert REGISTRY.counter("kernel.flops", format="crs") is c
+    assert REGISTRY.counter("kernel.flops", format="ccs") is not c
+
+    snap = REGISTRY.snapshot()
+    assert snap["kernel.flops{format=crs}"] == 150
+    assert snap["msg.bytes"]["mean"] == 20
+    assert "kernel.flops{format=crs}  150" in REGISTRY.render()
+
+
+def test_record_is_noop_when_disabled():
+    record("some.count", 5)
+    assert REGISTRY.snapshot() == {}
+    assert not metrics_enabled()
+    enable_metrics()
+    record("some.count", 5)
+    assert REGISTRY.snapshot()["some.count"] == 5
+
+
+def test_machine_records_collective_metrics():
+    enable_metrics()
+    m = Machine(2)
+
+    def prog(p):
+        yield ("alltoallv", {1 - p: np.ones(4)})
+        _ = yield ("allreduce", 1.0)
+        return None
+
+    _, stats = m.run(prog)
+    snap = REGISTRY.snapshot()
+    assert snap["machine.collectives{kind=alltoallv}"] == 1
+    assert snap["machine.collectives{kind=allreduce}"] == 1
+    assert snap["machine.bytes{kind=alltoallv}"] == stats.phases[0].nbytes.sum()
+
+
+def test_comm_matrix_total_equals_run_stats_bytes():
+    m = Machine(4)
+
+    def prog(p):
+        yield ("phase", "inspector")
+        _ = yield ("alltoallv", {(p + 1) % 4: np.ones(p + 1)})
+        yield ("phase", "executor")
+        _ = yield ("allreduce", float(p))
+        _ = yield ("allgather", p)
+        return None
+
+    _, stats = m.run(prog)
+    mat = stats.comm_matrix()
+    assert mat.shape == (4, 4)
+    assert np.all(np.diag(mat) == 0)  # self-sends are free
+    assert mat.sum() == stats.total_nbytes()
+    # per-phase matrices partition the whole
+    insp = stats.phase("inspector").comm_matrix()
+    exe = stats.phase("executor").comm_matrix()
+    assert (insp + exe == mat).all()
+    assert insp.sum() == stats.phase("inspector").total_nbytes()
+
+    text = render_comm_matrix(mat)
+    assert f"total bytes: {int(mat.sum())}" in text
+    assert "→0" in text
+
+
+def test_phase_breakdown_matches_windows():
+    m = Machine(2)
+
+    def prog(p):
+        yield ("phase", "inspector")
+        _ = yield ("alltoallv", {1 - p: np.ones(8)})
+        yield ("phase", "executor")
+        _ = yield ("allreduce", 1.0)
+        _ = yield ("allreduce", 1.0)
+        return None
+
+    _, stats = m.run(prog)
+    model = CommModel()
+    rows = phase_breakdown(stats, model)
+    assert list(rows) == ["inspector", "executor"]
+    assert rows["inspector"]["nbytes"] == stats.phase("inspector").total_nbytes()
+    assert rows["executor"]["supersteps"] >= 2
+    assert rows["inspector"]["parallel_seconds"] == pytest.approx(
+        stats.phase("inspector").parallel_time(model)
+    )
+    text = render_phase_breakdown(stats, model)
+    assert "inspector" in text and "executor" in text
+    assert "inspector / executor-superstep ratio" in text
+
+
+def test_instrument_dataclasses_standalone():
+    c = Counter("x")
+    c.inc()
+    assert c.value == 1
+    h = Histogram("y")
+    assert h.mean == 0.0  # no observations yet

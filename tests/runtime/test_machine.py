@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import RuntimeMachineError
+from repro.errors import PhaseNotFoundError, RuntimeMachineError
 from repro.runtime import CommModel, Machine
 from repro.runtime.machine import payload_nbytes
 
@@ -195,3 +195,58 @@ def test_payload_nbytes():
     assert payload_nbytes({1: np.ones(1)}) == 16
     assert payload_nbytes("abcd") == 4
     assert payload_nbytes(object()) == 64
+
+
+def test_payload_nbytes_bools_and_numpy_scalars():
+    # bools are one wire byte, and must not fall into the int branch
+    assert payload_nbytes(True) == 1
+    assert payload_nbytes(np.bool_(False)) == 1
+    # numpy scalars know their own width
+    assert payload_nbytes(np.float32(1.5)) == 4
+    assert payload_nbytes(np.float64(1.5)) == 8
+    assert payload_nbytes(np.int16(3)) == 2
+    assert payload_nbytes(np.uint8(3)) == 1
+
+
+def test_payload_nbytes_structured_arrays():
+    rec = np.zeros(3, dtype=[("i", np.int32), ("x", np.float64)])
+    assert payload_nbytes(rec) == rec.nbytes == 36
+    # a single structured record scalar (np.void)
+    assert payload_nbytes(rec[0]) == 12
+    assert payload_nbytes(np.zeros((2, 2), dtype=np.complex128)) == 64
+
+
+def test_payload_nbytes_sequences_and_buffers():
+    assert payload_nbytes(7) == 8
+    assert payload_nbytes(b"abc") == 3
+    assert payload_nbytes(bytearray(b"abcde")) == 5
+    assert payload_nbytes([1.0, 2.0, 3.0]) == 24
+    assert payload_nbytes(range(4)) == 32
+    assert payload_nbytes({1, 2}) == 16
+    assert payload_nbytes(frozenset({1.0})) == 8
+    assert payload_nbytes(()) == 0
+    assert payload_nbytes({}) == 0
+    # nesting recurses: dict of tuples of arrays
+    nested = {0: (np.ones(2), True), "k": [np.float32(0.0)]}
+    assert payload_nbytes(nested) == 8 + (16 + 1) + 1 + 4
+
+
+def test_phase_unknown_label_raises():
+    m = Machine(2)
+
+    def prog(p):
+        yield ("phase", "inspector")
+        _ = yield ("allreduce", 1.0)
+        return None
+
+    _, stats = m.run(prog)
+    with pytest.raises(PhaseNotFoundError, match="inspector"):
+        stats.phase("excutor")  # typo: message lists the known labels
+    # it is a KeyError too, and the message is not repr-mangled
+    try:
+        stats.phase("nope")
+    except KeyError as e:
+        assert "no phase marker named 'nope'" in str(e)
+    assert stats.phase_labels() == ["inspector"]
+    # window() is an alias of phase()
+    assert stats.window("inspector").phases == stats.phase("inspector").phases
