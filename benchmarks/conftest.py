@@ -14,3 +14,13 @@ from pathlib import Path
 
 # make `import paperbench` work when pytest is launched from the repo root
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        default="vectorized",
+        help="executor backend for compiled benchmark kernels "
+             "(vectorized / interpreted; BS95 cells always use the library "
+             "matvec and are labeled 'library')",
+    )

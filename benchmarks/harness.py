@@ -38,10 +38,10 @@ import paperbench as pb
 
 
 def cmd_table1(args):
-    print("== Table 1: sparse matrix-vector product, MFlop/s "
-          "(compiled kernels; * marks the row winner) ==")
+    print(f"== Table 1: sparse matrix-vector product, MFlop/s "
+          f"(compiled kernels, backend={args.backend}; * marks the row winner) ==")
     t0 = time.perf_counter()
-    results = pb.run_table1(min_time=args.min_time)
+    results = pb.run_table1(min_time=args.min_time, backend=args.backend)
     print(pb.format_table1(results))
     print(f"[measured in {time.perf_counter() - t0:.1f}s]")
 
@@ -148,6 +148,9 @@ def main(argv=None):
     ap.add_argument("--fig4-procs", default="8,64", help="processor counts for figure 4")
     ap.add_argument("--cells", type=int, default=None, help="grid cells per rank (default from REPRO_BENCH_SCALE)")
     ap.add_argument("--min-time", type=float, default=0.15, help="per-cell measurement budget for table 1")
+    ap.add_argument("--backend", default="vectorized",
+                    help="executor backend for table 1's compiled kernels "
+                         "(vectorized / interpreted)")
     ap.add_argument("--trace", metavar="OUT.json", default=None,
                     help="save a Chrome-trace of the run (compiler spans, "
                          "per-rank phases, comm matrices)")

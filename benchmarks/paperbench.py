@@ -27,6 +27,7 @@ from repro.formats import (
 )
 from repro.kernels.spmv import SPMV_SRC
 from repro.matrices import TABLE1_MATRICES, stencil_matrix, table1_matrix
+from repro.observability.trace import span
 from repro.parallel.spmd_blocksolve import BSFragments
 from repro.parallel.spmd_spmv import IndirectInspector
 from repro.runtime import CommModel, Machine
@@ -55,28 +56,38 @@ COMM = CommModel(latency=40e-6 * CALIBRATION, inv_bandwidth=25e-9 * CALIBRATION)
 # ----------------------------------------------------------------------
 # Table 1: sequential SpMV MFlop/s per (matrix, format)
 # ----------------------------------------------------------------------
-def spmv_closure(fmt_name: str, coo):
+@dataclass(frozen=True)
+class Table1Cell:
+    """One (matrix, format) measurement, stamped with the backend that
+    produced it so a grid can never silently mix executor backends."""
+
+    mflops: float
+    backend: str  # "vectorized" / "interpreted" / "library" (BS95)
+
+
+def spmv_closure(fmt_name: str, coo, backend: str | None = None):
     """A zero-argument y=A·x callable for one (format, matrix) pair.
 
     Bernoulli-compiled kernels for the simple formats; the hand-written
     library matvec for BS95 (mirroring the paper, where the BS95 column
-    is the BlockSolve library).  Returns (fn, flops_per_call).
+    is the BlockSolve library — its label is ``"library"`` regardless of
+    ``backend``).  Returns (fn, flops_per_call, backend_label).
     """
     cls = matrix_format_by_name(fmt_name)
     A = cls.from_coo(coo)
     x = np.ones(coo.shape[1])
     flops = 2.0 * coo.nnz
     if fmt_name == "BS95":
-        return (lambda: A.matvec(x)), flops
+        return (lambda: A.matvec(x)), flops, "library"
     X = DenseVector(x)
     Y = DenseVector.zeros(coo.shape[0])
-    kern = compile_kernel(SPMV_SRC, {"A": A, "X": X, "Y": Y})
+    kern = compile_kernel(SPMV_SRC, {"A": A, "X": X, "Y": Y}, backend=backend)
 
     def fn():
         Y.vals[:] = 0.0
         kern(A=A, X=X, Y=Y)
 
-    return fn, flops
+    return fn, flops, kern.backend
 
 
 def measure_mflops(fn, flops: float, min_time: float = 0.15, min_reps: int = 3) -> float:
@@ -96,33 +107,109 @@ def measure_mflops(fn, flops: float, min_time: float = 0.15, min_reps: int = 3) 
     return flops / best / 1e6
 
 
-def run_table1(names=None, formats=None, min_time: float = 0.15):
-    """MFlop/s for every (matrix, format) pair; dict keyed by (name, fmt)."""
+def run_table1(names=None, formats=None, min_time: float = 0.15, backend: str | None = None):
+    """Measure every (matrix, format) pair under one executor backend;
+    dict keyed by (name, fmt) of :class:`Table1Cell`."""
     names = names or TABLE1_NAMES
     formats = formats or TABLE1_FORMATS
-    out: dict[tuple[str, str], float] = {}
+    out: dict[tuple[str, str], Table1Cell] = {}
     for name in names:
         coo = table1_matrix(name)
         for fmt in formats:
-            fn, flops = spmv_closure(fmt, coo)
-            out[(name, fmt)] = measure_mflops(fn, flops, min_time)
+            fn, flops, label = spmv_closure(fmt, coo, backend=backend)
+            with span(
+                "bench.table1_cell", matrix=name, format=fmt, backend=label, nnz=coo.nnz
+            ) as sp:
+                mflops = measure_mflops(fn, flops, min_time)
+                sp.set(mflops=round(mflops, 2))
+            out[(name, fmt)] = Table1Cell(mflops, label)
     return out
+
+
+def _compiled_backends(results) -> set[str]:
+    return {c.backend for c in results.values() if c.backend != "library"}
 
 
 def format_table1(results, names=None, formats=None) -> str:
     """Paper-style Table 1: rows = matrices, columns = formats; the boxed
-    (best) number per row is marked with ``*``."""
+    (best) number per row is marked with ``*``.
+
+    Refuses to render a grid whose compiled cells came from different
+    executor backends: numbers measured under ``interpreted`` and
+    ``vectorized`` are not comparable, and a mixed table would present
+    them as if they were.  Use :func:`compare_backends` for that.
+    """
     names = names or TABLE1_NAMES
     formats = formats or TABLE1_FORMATS
+    backends = _compiled_backends(results)
+    if len(backends) > 1:
+        raise ValueError(
+            f"refusing to format a table mixing executor backends {sorted(backends)}; "
+            "cross-backend numbers are not comparable — use compare_backends()"
+        )
     w = 12
+    header = f"[compiled cells: backend={next(iter(backends))}; BS95: library]" if backends else ""
     lines = ["Name".ljust(12) + "".join(f.rjust(w) for f in formats)]
     for name in names:
-        vals = [results[(name, f)] for f in formats]
+        vals = [results[(name, f)].mflops for f in formats]
         best = max(vals)
         cells = [
             (f"{v:.1f}*" if v == best else f"{v:.1f}").rjust(w) for v in vals
         ]
         lines.append(name.ljust(12) + "".join(cells))
+    if header:
+        lines.append(header)
+    return "\n".join(lines)
+
+
+def geomean(values) -> float:
+    vals = np.asarray(list(values), dtype=np.float64)
+    if len(vals) == 0:
+        raise ValueError("geomean of an empty sequence")
+    return float(np.exp(np.log(vals).mean()))
+
+
+def compare_backends(
+    names=None,
+    formats=None,
+    min_time: float = 0.15,
+    baseline: str = "interpreted",
+    candidate: str = "vectorized",
+):
+    """Table 1 under two executor backends, with per-cell speedups.
+
+    Returns ``(base, cand, speedups, geomean_speedup)`` where the speedup
+    dict covers *compiled* cells only — the BS95 library column runs the
+    same hand-written kernel under either backend and is excluded from
+    the comparison rather than diluting it.
+    """
+    base = run_table1(names, formats, min_time, backend=baseline)
+    cand = run_table1(names, formats, min_time, backend=candidate)
+    speedups = {
+        key: cand[key].mflops / cell.mflops
+        for key, cell in base.items()
+        if cell.backend != "library" and cand[key].backend != "library"
+    }
+    return base, cand, speedups, geomean(speedups.values())
+
+
+def format_backend_comparison(base, cand, speedups, gm) -> str:
+    """Per-cell speedup grid (candidate MFlop/s / baseline MFlop/s)."""
+    base_name = next(iter(_compiled_backends(base)))
+    cand_name = next(iter(_compiled_backends(cand)))
+    names = sorted({k[0] for k in speedups}, key=lambda n: TABLE1_NAMES.index(n))
+    formats = sorted({k[1] for k in speedups}, key=lambda f: TABLE1_FORMATS.index(f))
+    w = 12
+    lines = [
+        f"speedup: {cand_name} over {base_name} (MFlop/s ratio; library cells excluded)",
+        "Name".ljust(12) + "".join(f.rjust(w) for f in formats),
+    ]
+    for name in names:
+        lines.append(
+            name.ljust(12)
+            + "".join(f"{speedups[(name, f)]:.2f}x".rjust(w) for f in formats)
+        )
+    lines.append(f"geomean speedup: {gm:.2f}x over {len(speedups)} cells")
     return "\n".join(lines)
 
 

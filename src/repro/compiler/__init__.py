@@ -15,10 +15,14 @@ Pipeline:
    *driver* relation that enumerates its stored entries and the access
    mode (dense lookup / sparse search) for every other term, using the
    access-method properties and a cost model.
-5. :mod:`~repro.compiler.codegen` — emit Python source for the chosen
-   plan (scalar loops, plus a vectorizing pass that turns the innermost
-   enumeration into numpy slice/gather operations), compile it, and wrap
-   it in a :class:`~repro.compiler.kernels.CompiledKernel`.
+5. :mod:`~repro.compiler.codegen` / :mod:`~repro.compiler.backends` —
+   emit Python source for the chosen plan through a selectable *executor
+   backend* (``"interpreted"``: scalar loops; ``"vectorized"``: numpy
+   slice/gather/segmented-reduction lowering with per-statement fallback),
+   compile it, and wrap it in a
+   :class:`~repro.compiler.kernels.CompiledKernel`.  Compiled kernels are
+   cached in a :mod:`~repro.compiler.plan_cache` keyed on the loop nest,
+   the format specs and the sparsity predicates.
 
 Everything is format-agnostic: the planner and code generator speak only
 the access-method protocol of :mod:`repro.formats.base`, so user-defined
@@ -38,7 +42,19 @@ from repro.compiler.parser import parse
 from repro.compiler.sparsity import sparsity_predicate, split_statement
 from repro.compiler.query_extract import extract_query
 from repro.compiler.scheduling import plan_query, Plan, TermAccess
-from repro.compiler.kernels import CompiledKernel, compile_kernel
+from repro.compiler.backends import (
+    ExecutorBackend,
+    LoweringStrategy,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.compiler.kernels import (
+    CompiledKernel,
+    compile_kernel,
+    clear_kernel_cache,
+    kernel_cache_stats,
+)
 
 __all__ = [
     "parse",
@@ -55,6 +71,13 @@ __all__ = [
     "plan_query",
     "Plan",
     "TermAccess",
+    "ExecutorBackend",
+    "LoweringStrategy",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "CompiledKernel",
     "compile_kernel",
+    "clear_kernel_cache",
+    "kernel_cache_stats",
 ]

@@ -1,16 +1,21 @@
 """Python code generation from access plans.
 
-Two backends share the plan walk:
+The lowering *strategies* live here; the *policy* of which strategy runs
+for which plan is an :class:`~repro.compiler.backends.ExecutorBackend`:
 
 * **scalar** — nested Python loops following the plan's steps exactly;
-  the semantic reference and the fallback for plans whose innermost step
-  is a search (no contiguous view to vectorize over).
-* **vectorized** — when the innermost step is an unguarded enumeration
-  whose format exposes a contiguous :meth:`inner_vector_view`, the loop
-  is replaced by numpy slice/gather/scatter operations (``np.dot`` for
-  reductions, slice ``+=`` for affine scatters, ``np.add.at`` for gather
-  scatters).  This plays the role of the paper's generated C code: it
-  exploits exactly the contiguity the formats were designed to expose.
+  the semantic reference (the ``"interpreted"`` backend) and the fallback
+  for plans whose innermost step is a search (no contiguous view to
+  vectorize over).
+* **vectorized / block-gemv / segmented** — the ``"vectorized"``
+  backend's strategies: when the access-method properties expose a
+  contiguous :meth:`inner_vector_view`, a dense :meth:`inner_block_view`,
+  or a whole-matrix :meth:`segmented_view`, loops are replaced by numpy
+  slice/gather/scatter operations (``np.dot`` for reductions, slice
+  ``+=`` for affine scatters, ``np.add.at`` for gather scatters,
+  ``np.add.reduceat`` for segmented reductions).  This plays the role of
+  the paper's generated C code: it exploits exactly the contiguity the
+  formats were designed to expose.
 
 Generated functions take the formats' flat storage arrays (``A_rowptr``,
 ``X_vals``, ...) plus free scalars as keyword parameters and mutate the
@@ -662,38 +667,33 @@ def generate_source(
     units: list[KernelUnit],
     formats: dict[str, Format],
     param_names: list[str],
-    vectorize: bool = True,
+    backend,
     func_name: str = "kernel",
-) -> str:
-    """Emit the full kernel function for the program's plan units."""
-    with span("compiler.codegen", units=len(units), vectorize=vectorize) as sp:
+) -> tuple[str, tuple[str, ...]]:
+    """Emit the full kernel function for the program's plan units.
+
+    ``backend`` is an :class:`~repro.compiler.backends.ExecutorBackend`;
+    every unit is lowered through ``backend.lower_unit``.  Returns the
+    source plus the per-unit lowering labels (``"noop"``, a strategy
+    name, or ``"fallback:scalar"``).
+    """
+    with span("compiler.codegen", units=len(units), backend=backend.name) as sp:
         g = Emitter()
         g.emit(f"def {func_name}({', '.join(param_names)}):")
         g.depth += 1
         body_start = len(g.lines)
-        backends: list[str] = []
+        labels: list[str] = []
         for unit in units:
             if not unit.stmt.reduce:
                 # plain assignment: zero-fill then guarded accumulate
                 _zero_fill(g, unit.stmt.target, formats)
             if unit.plan.noop:
-                backends.append("noop")
+                labels.append("noop")
                 continue
-            if vectorize and _segmented_vectorizable(unit, formats):
-                backends.append("segmented")
-                _emit_segmented_nest(g, program, unit, formats)
-            elif vectorize and _block_vectorizable(unit, formats):
-                backends.append("block-gemv")
-                _emit_block_nest(g, program, unit, formats)
-            elif vectorize and _vectorizable(unit, formats):
-                backends.append("vectorized")
-                _emit_vector_nest(g, program, unit, formats)
-            else:
-                backends.append("scalar")
-                _emit_scalar_nest(g, program, unit, formats)
+            labels.append(backend.lower_unit(g, program, unit, formats))
         if len(g.lines) == body_start:
             g.emit("pass")
         g.depth -= 1
         src = g.source()
-        sp.set(backends=backends, lines=len(g.lines), chars=len(src))
-    return src
+        sp.set(backends=labels, lines=len(g.lines), chars=len(src))
+    return src, tuple(labels)

@@ -6,11 +6,16 @@ generation — and returns a :class:`CompiledKernel` that can be invoked
 repeatedly with *any* data stored in the same formats:
 
     >>> k = compile_kernel("for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }",
-    ...                    formats={"A": a_crs, "X": x_dense, "Y": y_dense})
+    ...                    formats={"A": a_crs, "X": x_dense, "Y": y_dense},
+    ...                    backend="vectorized")
     >>> k(A=a_crs, X=x_dense, Y=y_dense)     # y += A @ x, in place
 
-Compilation is cached on (source, format classes, options): rebinding new
-data of the same formats costs only a dict merge.
+``backend`` selects the executor backend (``"vectorized"`` — the default
+— or ``"interpreted"``; see :mod:`repro.compiler.backends`).  Compilation
+is cached in a :class:`~repro.compiler.plan_cache.PlanCache` keyed on
+(loop nest, format specs, sparsity predicates, backend, planner options):
+rebinding new data of the same structure costs only a dict merge, and the
+cache's hit/miss counters land in ``repro.observability.metrics``.
 """
 
 from __future__ import annotations
@@ -22,8 +27,10 @@ import numpy as np
 
 from repro.compiler import codegen
 from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Program
+from repro.compiler.backends import ExecutorBackend, resolve_backend
 from repro.compiler.codegen import KernelUnit
 from repro.compiler.parser import parse
+from repro.compiler.plan_cache import PlanCache, kernel_cache_key
 from repro.compiler.query_extract import extract_query
 from repro.compiler.scheduling import plan_query
 from repro.compiler.sparsity import split_statement
@@ -35,8 +42,10 @@ from repro.observability import trace as _trace
 __all__ = [
     "CompiledKernel",
     "KernelCounters",
+    "KERNEL_CACHE",
     "compile_kernel",
     "clear_kernel_cache",
+    "kernel_cache_stats",
 ]
 
 
@@ -74,7 +83,8 @@ def _count_flop_ops(expr: Expr) -> int:
         return 1 + _count_flop_ops(expr.operand)
     return 0
 
-_CACHE: dict[tuple, "CompiledKernel"] = {}
+#: process-global plan/kernel cache (see :mod:`repro.compiler.plan_cache`)
+KERNEL_CACHE = PlanCache("compiler")
 
 
 @dataclass
@@ -94,12 +104,14 @@ class CompiledKernel:
         program: Program,
         units: list[KernelUnit],
         formats: Mapping[str, Format],
-        vectorize: bool,
+        backend: ExecutorBackend,
     ):
         self.program = program
         self.units = units
         self.format_classes = {name: type(f) for name, f in formats.items()}
-        self.vectorize = vectorize
+        self.format_specs = {name: f.spec() for name, f in formats.items()}
+        #: name of the executor backend this kernel was lowered with
+        self.backend = backend.name
         self.scalar_names = sorted(program.scalar_names())
         self._bound_vars = self._bound_var_rules(formats)
         # per-unit flops per driven entry: operators in the expression plus
@@ -120,8 +132,11 @@ class CompiledKernel:
         self.param_names = storage_keys + [
             s for s in self.scalar_names if s not in storage_keys
         ]
-        self.source = codegen.generate_source(
-            program, units, dict(formats), self.param_names, vectorize=vectorize
+        #: per-unit lowering labels (strategy name, "noop", or
+        #: "fallback:scalar" when the backend could not lower the plan)
+        self.unit_backends: tuple[str, ...]
+        self.source, self.unit_backends = codegen.generate_source(
+            program, units, dict(formats), self.param_names, backend=backend
         )
         ns: dict = {"np": np}
         exec(compile(self.source, "<bernoulli-kernel>", "exec"), ns)
@@ -277,6 +292,13 @@ class CompiledKernel:
                     f"array {name!r} was compiled for {want.__name__}, "
                     f"got {type(fmt).__name__}"
                 )
+            spec = fmt.spec()
+            if spec != self.format_specs[name]:
+                raise CompileError(
+                    f"array {name!r} was compiled for format spec "
+                    f"{self.format_specs[name]!r}, got {spec!r} (composite "
+                    "formats must match structurally, not just by class)"
+                )
             ns.update(fmt.storage(name))
         # resolve loop bounds
         for rule in self._bound_vars:
@@ -309,10 +331,11 @@ class CompiledKernel:
 def compile_kernel(
     source: str | Program,
     formats: Mapping[str, Format],
-    vectorize: bool = True,
+    vectorize: bool | None = None,
     force_driver: str | None = None,
     allow_merge: bool = True,
     cache: bool = True,
+    backend: str | ExecutorBackend | None = None,
 ) -> CompiledKernel:
     """Compile a dense DOANY loop nest against concrete storage formats.
 
@@ -322,15 +345,21 @@ def compile_kernel(
         Mini-language text or an already-parsed :class:`Program`.
     formats:
         Example instance per array name; the kernel accepts any instances
-        of the same classes at call time.
+        of the same format spec at call time.
+    backend:
+        Executor backend name or instance — ``"vectorized"`` (default) or
+        ``"interpreted"`` (see :mod:`repro.compiler.backends`).
     vectorize:
-        Enable the numpy vectorizing backend (ablation hook).
+        Legacy boolean: ``False`` selects the interpreted backend,
+        ``True``/``None`` the vectorized one.  ``backend`` wins when both
+        are given (contradictions raise).
     force_driver:
         Pin the planner's primary driver (ablation hook).
     """
+    be = resolve_backend(backend, vectorize)
     with _trace.span(
         "compiler.compile_kernel",
-        vectorize=vectorize,
+        backend=be.name,
         force_driver=force_driver,
         formats={n: type(f).__name__ for n, f in formats.items()},
     ) as sp:
@@ -340,17 +369,10 @@ def compile_kernel(
                 raise CompileError(f"no format given for array {name!r}")
         key = None
         if cache:
-            key = (
-                repr(program),
-                tuple(sorted((n, type(f).__qualname__) for n, f in formats.items())),
-                vectorize,
-                force_driver,
-                allow_merge,
-            )
-            hit = _CACHE.get(key)
+            key = kernel_cache_key(program, formats, be.name, force_driver, allow_merge)
+            hit = KERNEL_CACHE.lookup(key, backend=be.name)
             if hit is not None:
                 sp.set(cache_hit=True)
-                _metrics.record("compiler.cache_hits")
                 return hit
         sp.set(cache_hit=False)
         _metrics.record("compiler.compilations")
@@ -376,17 +398,23 @@ def compile_kernel(
                     query, dict(formats), force_driver=force_driver, allow_merge=allow_merge
                 )
                 units.append(KernelUnit(piece, plan))
-        kern = CompiledKernel(program, units, formats, vectorize)
+        kern = CompiledKernel(program, units, formats, be)
         sp.set(
             units=len(units),
             drivers=[u.plan.driver for u in units],
+            lowerings=list(kern.unit_backends),
             source_chars=len(kern.source),
         )
         if cache and key is not None:
-            _CACHE[key] = kern
+            KERNEL_CACHE.insert(key, kern)
     return kern
 
 
 def clear_kernel_cache() -> None:
-    """Drop all cached kernels (test isolation hook)."""
-    _CACHE.clear()
+    """Drop all cached kernels and cache statistics (test isolation hook)."""
+    KERNEL_CACHE.clear()
+
+
+def kernel_cache_stats() -> dict[str, int]:
+    """Hit/miss/size statistics of the process-global kernel cache."""
+    return KERNEL_CACHE.stats()

@@ -1,0 +1,109 @@
+"""Keyed plan/kernel cache fronting the compilation pipeline.
+
+Planning, lowering and ``exec``-ing a kernel dominates the cost of
+:func:`~repro.compiler.kernels.compile_kernel`; solvers re-issue the same
+``compile()`` every iteration.  The cache key captures everything the
+generated code depends on — nothing more, so rebinding fresh data of the
+same structure is a pure hit:
+
+* the **loop nest**: the canonical ``repr`` of the parsed
+  :class:`~repro.compiler.ast_nodes.Program` (source text that parses to
+  the same program shares kernels),
+* the **format specs**: each array's :meth:`~repro.formats.base.Format.spec`
+  — class identity plus any structure that changes codegen (wrapped
+  formats, translated axes), never data,
+* the **sparsity predicates** of the split statements (Bik–Wijshoff
+  output; distinguishes the query structure the planner sees),
+* the **backend** name and the planner options (forced driver, merge
+  joins).
+
+Hits and misses are counted on the cache object and mirrored into
+``repro.observability.metrics`` (``compiler.cache_hits`` /
+``compiler.cache_misses``, labeled by backend) so solver loops can verify
+they stopped re-planning.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.compiler.ast_nodes import Program
+from repro.compiler.sparsity import sparsity_predicate, split_statement
+from repro.observability import metrics as _metrics
+
+__all__ = ["PlanCache", "kernel_cache_key"]
+
+
+def kernel_cache_key(
+    program: Program,
+    formats,
+    backend: str,
+    force_driver: str | None = None,
+    allow_merge: bool = True,
+) -> tuple:
+    """The cache key for one compilation request (see module docstring)."""
+    sparse = {
+        name for name in program.arrays() if not formats[name].structurally_dense
+    }
+    predicates = tuple(
+        repr(sparsity_predicate(piece.expr, sparse))
+        for stmt in program.body
+        for piece in split_statement(stmt)
+    )
+    specs = tuple(sorted((name, fmt.spec()) for name, fmt in formats.items()))
+    return (repr(program), specs, predicates, backend, force_driver, allow_merge)
+
+
+class PlanCache:
+    """Thread-safe kernel store with hit/miss accounting.
+
+    ``lookup`` records a hit or miss (and mirrors it into the metrics
+    registry when enabled); ``insert`` stores a compiled kernel.  ``clear``
+    drops entries *and* statistics — the test-isolation hook.
+    """
+
+    def __init__(self, name: str = "compiler"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._store: dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple, backend: str = ""):
+        """The cached kernel for ``key``, or None (recording hit/miss)."""
+        with self._lock:
+            kernel = self._store.get(key)
+            if kernel is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+        labels = {"backend": backend} if backend else {}
+        if kernel is not None:
+            _metrics.record(f"{self.name}.cache_hits", **labels)
+        else:
+            _metrics.record(f"{self.name}.cache_misses", **labels)
+        return kernel
+
+    def insert(self, key: tuple, kernel) -> None:
+        with self._lock:
+            self._store[key] = kernel
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss statistics."""
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """``{"hits", "misses", "size"}`` snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._store),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)

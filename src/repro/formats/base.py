@@ -283,6 +283,18 @@ class Format:
     def name(self) -> str:
         return self.format_name or type(self).__name__
 
+    def spec(self) -> tuple:
+        """Hashable structural description of this container for plan/kernel
+        cache keys: everything about the format that affects the *generated
+        code* (class identity, wrapped formats, which axes are translated)
+        but nothing about the data values or extents.  Two instances with
+        equal specs must be interchangeable at kernel-bind time — the same
+        compiled source runs correctly against either.  Composite formats
+        (wrappers around another :class:`Format`) must include the wrapped
+        format's spec; the default covers self-contained formats.
+        """
+        return (type(self).__qualname__,)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz})"
 

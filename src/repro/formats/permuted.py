@@ -126,6 +126,12 @@ class PermutedMatrix(Format):
             for lv in self.base.levels()
         )
 
+    def spec(self) -> tuple:
+        # the generated code depends on the wrapped format AND on which
+        # axes go through PERM/IPERM — two views differing in either must
+        # not share a cached kernel
+        return (type(self).__qualname__, self.base.spec(), tuple(sorted(self._axes)))
+
     def storage(self, prefix: str):
         out = dict(self.base.storage(prefix))
         for a, p in self.perms.items():

@@ -18,18 +18,27 @@ SPMV_SRC = "for i in 0:n { for j in 0:m { Y[i] += A[i,j] * X[j] } }"
 SPMV_T_SRC = "for i in 0:n { for j in 0:m { Y[j] += A[i,j] * X[i] } }"
 
 
-def spmv(A: Format, x, y=None, vectorize: bool = True) -> np.ndarray:
+def spmv(
+    A: Format,
+    x,
+    y=None,
+    vectorize: bool | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
     """y (+)= A·x for any matrix format.
 
     ``x`` is a dense 1-D array (or DenseVector); pass ``y`` to accumulate
-    in place, otherwise a zero vector is allocated.  BlockSolve matrices
-    dispatch to the hand-written library kernel (the format is composite;
-    see paper Sec. 3.3).
+    in place, otherwise a zero vector is allocated.  ``backend`` selects
+    the executor backend (``"vectorized"`` default / ``"interpreted"``);
+    BlockSolve matrices dispatch to the hand-written library kernel
+    regardless (the format is composite; see paper Sec. 3.3).
     """
     xv = x.vals if isinstance(x, DenseVector) else np.asarray(x, dtype=np.float64)
     if isinstance(A, BlockSolveMatrix):
         # hand-written library path: count the 2·nnz flops it performs
-        with span("kernels.spmv", format="BlockSolveMatrix", flops=2.0 * A.nnz):
+        with span(
+            "kernels.spmv", format="BlockSolveMatrix", backend="library", flops=2.0 * A.nnz
+        ):
             out = A.matvec(xv)
         _metrics.record("kernel.flops", 2.0 * A.nnz)
         _metrics.record("kernel.nnz_touched", A.nnz)
@@ -41,13 +50,21 @@ def spmv(A: Format, x, y=None, vectorize: bool = True) -> np.ndarray:
         return yv
     yv = np.zeros(A.shape[0]) if y is None else (y.vals if isinstance(y, DenseVector) else y)
     X, Y = DenseVector(xv), DenseVector(yv)
-    with span("kernels.spmv", format=type(A).__name__, nnz=A.nnz):
-        k = compile_kernel(SPMV_SRC, {"A": A, "X": X, "Y": Y}, vectorize=vectorize)
+    k = compile_kernel(
+        SPMV_SRC, {"A": A, "X": X, "Y": Y}, vectorize=vectorize, backend=backend
+    )
+    with span("kernels.spmv", format=type(A).__name__, backend=k.backend, nnz=A.nnz):
         k(A=A, X=X, Y=Y)
     return Y.vals
 
 
-def spmv_transpose(A: Format, x, y=None, vectorize: bool = True) -> np.ndarray:
+def spmv_transpose(
+    A: Format,
+    x,
+    y=None,
+    vectorize: bool | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
     """y (+)= Aᵀ·x for any matrix format (no transposed copy is built —
     the planner simply schedules the other projection of the same query)."""
     xv = x.vals if isinstance(x, DenseVector) else np.asarray(x, dtype=np.float64)
@@ -55,9 +72,14 @@ def spmv_transpose(A: Format, x, y=None, vectorize: bool = True) -> np.ndarray:
         # composite: transpose through the exchange format (rarely needed)
         from repro.formats.crs import CRSMatrix
 
-        return spmv(CRSMatrix.from_coo(A.to_coo().transpose()), xv, y, vectorize)
+        return spmv(CRSMatrix.from_coo(A.to_coo().transpose()), xv, y, vectorize, backend)
     yv = np.zeros(A.shape[1]) if y is None else (y.vals if isinstance(y, DenseVector) else y)
     X, Y = DenseVector(xv), DenseVector(yv)
-    k = compile_kernel(SPMV_T_SRC, {"A": A, "X": X, "Y": Y}, vectorize=vectorize)
-    k(A=A, X=X, Y=Y)
+    k = compile_kernel(
+        SPMV_T_SRC, {"A": A, "X": X, "Y": Y}, vectorize=vectorize, backend=backend
+    )
+    with span(
+        "kernels.spmv_transpose", format=type(A).__name__, backend=k.backend, nnz=A.nnz
+    ):
+        k(A=A, X=X, Y=Y)
     return Y.vals

@@ -2,7 +2,8 @@
 
 These exist to demonstrate that the "sparse BLAS" layer really is produced
 by the one compiler — including operations on sparse *vectors* — not to
-beat numpy on dense data.
+beat numpy on dense data.  Every operation accepts ``backend=`` to select
+the executor backend (``"vectorized"`` default / ``"interpreted"``).
 """
 
 from __future__ import annotations
@@ -20,18 +21,18 @@ def _vec(x) -> Format:
     return x if isinstance(x, Format) else DenseVector(np.asarray(x, dtype=np.float64))
 
 
-def axpy(alpha: float, x, y) -> np.ndarray:
+def axpy(alpha: float, x, y, backend: str | None = None) -> np.ndarray:
     """y += alpha · x.  ``x`` may be sparse (compressed vector) or dense."""
     X = _vec(x)
     Y = _vec(y)
     k = compile_kernel(
-        "for i in 0:n { Y[i] += alpha * X[i] }", {"X": X, "Y": Y}
+        "for i in 0:n { Y[i] += alpha * X[i] }", {"X": X, "Y": Y}, backend=backend
     )
     k(X=X, Y=Y, alpha=float(alpha))
     return Y.vals
 
 
-def dot(x, y) -> float:
+def dot(x, y, backend: str | None = None) -> float:
     """xᵀ·y; either side may be a sparse vector (the sparse one drives)."""
     X = _vec(x)
     Y = _vec(y)
@@ -40,15 +41,18 @@ def dot(x, y) -> float:
     k = compile_kernel(
         "for z in 0:1 { for i in 0:n { S[z] += X[i] * Y[i] } }",
         {"X": X, "Y": Y, "S": acc},
+        backend=backend,
     )
     k(X=X, Y=Y, S=acc)
     return float(acc.vals[0])
 
 
-def scale(alpha: float, x) -> np.ndarray:
+def scale(alpha: float, x, backend: str | None = None) -> np.ndarray:
     """x *= alpha, in place, via a compiled kernel."""
     X = _vec(x)
     Y = DenseVector(np.array(X.to_dense(), dtype=np.float64))
-    k = compile_kernel("for i in 0:n { Y[i] = alpha * X[i] }", {"X": X, "Y": Y})
+    k = compile_kernel(
+        "for i in 0:n { Y[i] = alpha * X[i] }", {"X": X, "Y": Y}, backend=backend
+    )
     k(X=X, Y=Y, alpha=float(alpha))
     return Y.vals

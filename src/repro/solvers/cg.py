@@ -45,9 +45,11 @@ class CGResult:
         return self.residuals[-1] if self.residuals else float("inf")
 
 
-def _as_matvec(A):
+def _as_matvec(A, backend: str | None = None):
     if isinstance(A, Format):
-        return lambda v: spmv(A, v)
+        # one compile per solve; every iteration after that is a plan-cache
+        # hit (the cache key sees the same nest, specs and predicates)
+        return lambda v: spmv(A, v, backend=backend)
     if callable(A):
         return A
     raise ReproError(f"cannot use {type(A).__name__} as an operator")
@@ -60,16 +62,18 @@ def cg(
     tol: float = 1e-8,
     maxiter: int | None = None,
     x0: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> CGResult:
     """Preconditioned CG for SPD systems.
 
     ``A`` is any matrix format or a matvec callable; ``diag`` the
-    preconditioner diagonal (defaults to ones: unpreconditioned).
+    preconditioner diagonal (defaults to ones: unpreconditioned);
+    ``backend`` the executor backend the SpMV compiles through.
     Iterates until ||r|| <= tol·||b|| or ``maxiter``.
     """
     b = np.asarray(b, dtype=np.float64)
     n = len(b)
-    matvec = _as_matvec(A)
+    matvec = _as_matvec(A, backend)
     dinv = 1.0 / np.asarray(diag) if diag is not None else np.ones(n)
     if not np.all(np.isfinite(dinv)):
         raise ReproError("preconditioner diagonal contains zeros")

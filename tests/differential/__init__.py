@@ -1,0 +1,11 @@
+"""Differential tests for the executor backends.
+
+Every compiled result is checked three ways: the vectorized backend, the
+interpreted backend, and the dense reference executor
+(:func:`repro.compiler.reference.run_reference`) must agree to numerical
+tolerance on the same program and data.  Alongside the equivalence
+properties live the plan-cache correctness tests (distinct format specs
+and sparsity predicates must not collide) and the fallback-path tests
+(plans the vectorized backend cannot lower must degrade to scalar code,
+traced, never raise).
+"""

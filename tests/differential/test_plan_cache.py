@@ -1,0 +1,176 @@
+"""Plan-cache correctness: keys must separate everything codegen sees.
+
+The dangerous failure mode of a kernel cache is a *collision*: two
+compilation requests that need different code but share a key, so the
+second silently runs the first's kernel.  These tests pin down the key
+components — format specs (including wrapped formats inside composites),
+sparsity predicates, backend, planner options — and the bind-time spec
+check that catches any collision the key construction might still miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    clear_kernel_cache,
+    compile_kernel,
+    kernel_cache_stats,
+    parse,
+)
+from repro.compiler.plan_cache import kernel_cache_key
+from repro.errors import CompileError
+from repro.formats import (
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    DenseMatrix,
+    DenseVector,
+    Permutation,
+    PermutedMatrix,
+)
+from repro.kernels.spmv import SPMV_SRC
+from repro.observability import disable_metrics, enable_metrics
+
+
+@pytest.fixture
+def coo():
+    rng = np.random.default_rng(7)
+    dense = (rng.random((8, 8)) < 0.4) * rng.standard_normal((8, 8))
+    return COOMatrix.from_dense(dense)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_kernel_cache()
+    yield
+    clear_kernel_cache()
+
+
+def _spmv_args(A):
+    return {"A": A, "X": DenseVector(np.ones(A.shape[1])), "Y": DenseVector.zeros(A.shape[0])}
+
+
+def test_identical_recompile_is_a_hit(coo):
+    fmts = _spmv_args(CRSMatrix.from_coo(coo))
+    k1 = compile_kernel(SPMV_SRC, fmts)
+    k2 = compile_kernel(SPMV_SRC, fmts)
+    assert k2 is k1
+    stats = kernel_cache_stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["size"] == 1
+
+
+def test_backend_is_part_of_the_key(coo):
+    fmts = _spmv_args(CRSMatrix.from_coo(coo))
+    kv = compile_kernel(SPMV_SRC, fmts, backend="vectorized")
+    ki = compile_kernel(SPMV_SRC, fmts, backend="interpreted")
+    assert kv is not ki
+    assert kv.backend == "vectorized"
+    assert ki.backend == "interpreted"
+    assert kernel_cache_stats()["size"] == 2
+
+
+def test_planner_options_are_part_of_the_key(coo):
+    fmts = _spmv_args(CRSMatrix.from_coo(coo))
+    k1 = compile_kernel(SPMV_SRC, fmts)
+    k2 = compile_kernel(SPMV_SRC, fmts, allow_merge=False)
+    k3 = compile_kernel(SPMV_SRC, fmts, force_driver="A")
+    assert k1 is not k2
+    assert k1 is not k3
+    assert kernel_cache_stats()["size"] == 3
+
+
+def test_permuted_base_formats_do_not_collide(coo):
+    """PermutedMatrix over CRS and over CCS share a class but need
+    different code — the wrapped format's spec must reach the key."""
+    perm = Permutation(np.roll(np.arange(8), 3))
+    crs_view = PermutedMatrix(CRSMatrix.from_coo(coo), row_perm=perm)
+    ccs_view = PermutedMatrix(CCSMatrix.from_coo(coo), row_perm=perm)
+    assert crs_view.spec() != ccs_view.spec()
+
+    x = np.linspace(-1.0, 1.0, 8)
+    want = crs_view.to_coo().to_dense() @ x
+    kernels = []
+    for A in (crs_view, ccs_view):
+        fmts = {"A": A, "X": DenseVector(x), "Y": DenseVector.zeros(8)}
+        k = compile_kernel(SPMV_SRC, fmts)
+        k(**fmts)
+        assert np.allclose(fmts["Y"].vals, want, atol=1e-9)
+        kernels.append(k)
+    assert kernels[0] is not kernels[1]
+
+
+def test_permuted_axes_do_not_collide(coo):
+    """Row-permuted and column-permuted views of the same base share a
+    class and a base spec but gather along different axes."""
+    perm = Permutation(np.roll(np.arange(8), 1))
+    base = CRSMatrix.from_coo(coo)
+    row_view = PermutedMatrix(base, row_perm=perm)
+    col_view = PermutedMatrix(base, col_perm=perm)
+    assert row_view.spec() != col_view.spec()
+
+    x = np.linspace(-1.0, 1.0, 8)
+    kernels = []
+    for A in (row_view, col_view):
+        fmts = {"A": A, "X": DenseVector(x), "Y": DenseVector.zeros(8)}
+        k = compile_kernel(SPMV_SRC, fmts)
+        k(**fmts)
+        assert np.allclose(fmts["Y"].vals, A.to_coo().to_dense() @ x, atol=1e-9)
+        kernels.append(k)
+    assert kernels[0] is not kernels[1]
+
+
+def test_bind_time_spec_check_catches_composite_mismatch(coo):
+    """Binding a same-class, different-spec format must fail loudly, not
+    run the wrong kernel."""
+    perm = Permutation(np.roll(np.arange(8), 2))
+    crs_view = PermutedMatrix(CRSMatrix.from_coo(coo), row_perm=perm)
+    ccs_view = PermutedMatrix(CCSMatrix.from_coo(coo), row_perm=perm)
+    fmts = {"A": crs_view, "X": DenseVector(np.ones(8)), "Y": DenseVector.zeros(8)}
+    k = compile_kernel(SPMV_SRC, fmts)
+    with pytest.raises(CompileError, match="format spec"):
+        k(A=ccs_view, X=fmts["X"], Y=fmts["Y"])
+
+
+def test_sparsity_predicates_reach_the_key(coo):
+    """A sparse and a dense A produce different predicates (and specs);
+    both components must show up in the key tuple."""
+    program = parse(SPMV_SRC)
+    x, y = DenseVector(np.ones(8)), DenseVector.zeros(8)
+    sparse_key = kernel_cache_key(
+        program, {"A": CRSMatrix.from_coo(coo), "X": x, "Y": y}, "vectorized"
+    )
+    dense_key = kernel_cache_key(
+        program, {"A": DenseMatrix(coo.to_dense()), "X": x, "Y": y}, "vectorized"
+    )
+    assert sparse_key != dense_key
+    _, sparse_specs, sparse_preds, *_ = sparse_key
+    _, dense_specs, dense_preds, *_ = dense_key
+    assert sparse_specs != dense_specs
+    assert sparse_preds != dense_preds
+
+
+def test_metrics_counters_mirror_hits_and_misses(coo):
+    registry = enable_metrics(fresh=True)
+    try:
+        fmts = _spmv_args(CRSMatrix.from_coo(coo))
+        compile_kernel(SPMV_SRC, fmts, backend="vectorized")
+        compile_kernel(SPMV_SRC, fmts, backend="vectorized")
+        compile_kernel(SPMV_SRC, fmts, backend="interpreted")
+        snap = registry.snapshot()
+        assert snap["compiler.cache_misses{backend=vectorized}"] == 1
+        assert snap["compiler.cache_hits{backend=vectorized}"] == 1
+        assert snap["compiler.cache_misses{backend=interpreted}"] == 1
+        assert "compiler.cache_hits{backend=interpreted}" not in snap
+        assert snap["compiler.compilations"] == 2
+    finally:
+        disable_metrics()
+
+
+def test_clear_resets_entries_and_stats(coo):
+    fmts = _spmv_args(CRSMatrix.from_coo(coo))
+    compile_kernel(SPMV_SRC, fmts)
+    compile_kernel(SPMV_SRC, fmts)
+    clear_kernel_cache()
+    assert kernel_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
