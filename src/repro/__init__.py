@@ -79,7 +79,7 @@ from repro.observability import (
     render_comm_matrix,
     render_phase_breakdown,
 )
-from repro.runtime import CommModel, Machine
+from repro.runtime import CommModel, DeliveryConfig, FaultPlan, Machine
 from repro.solvers import (
     CGResult,
     cg,
@@ -153,6 +153,8 @@ __all__ = [
     # runtime + solvers
     "Machine",
     "CommModel",
+    "FaultPlan",
+    "DeliveryConfig",
     "cg",
     "parallel_cg",
     "CGResult",

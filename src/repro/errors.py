@@ -19,6 +19,7 @@ __all__ = [
     "DistributionError",
     "RuntimeMachineError",
     "InspectorError",
+    "CommFailureError",
     "PhaseNotFoundError",
     "ObservabilityError",
 ]
@@ -62,6 +63,27 @@ class RuntimeMachineError(ReproError):
 
 class InspectorError(ReproError):
     """Inspector could not build a valid communication schedule."""
+
+
+class CommFailureError(RuntimeMachineError):
+    """The hardened delivery protocol gave up on a communication.
+
+    Raised when a message exhausts its retry budget under fault injection,
+    or when schedule re-inspection cannot restore a corrupted schedule.
+    The executors' contract is: converge to the exact fault-free result
+    within the retry budget, or raise this — never silently return wrong
+    data.  Carries enough context to replay the failure: the fault plan
+    (``plan``) plus the failing edge (``src``, ``dst``, ``seq``,
+    ``attempts``) when the failure is a single message.
+    """
+
+    def __init__(self, message: str, plan=None, src=-1, dst=-1, seq=-1, attempts=0):
+        super().__init__(message)
+        self.plan = plan
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.attempts = attempts
 
 
 class PhaseNotFoundError(RuntimeMachineError, KeyError):

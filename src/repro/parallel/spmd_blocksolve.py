@@ -31,6 +31,7 @@ from repro.formats.dense import DenseVector
 from repro.formats.inode import InodeMatrix
 from repro.formats.translated import TranslatedVector
 from repro.kernels.spmv import SPMV_SRC
+from repro.runtime.faults import ensure_valid_schedule
 from repro.runtime.inspector import build_schedule_replicated, exchange
 
 __all__ = ["BSFragments", "BlockSolveSpMV", "BernoulliMixedBS", "BernoulliGlobalBS"]
@@ -127,6 +128,22 @@ class BSFragments:
             ghost_map[used] = slots
         return ino.remap_columns(ghost_map, max(1, sched.nghost))
 
+    def _remember_schedule(self, used) -> None:
+        """Store what the fault-recovery path needs: the Used set (to
+        re-run the inspector) and the schedule fingerprint (to detect
+        corruption and to verify the rebuilt schedule)."""
+        self._used = used
+        self._sched_sum = self.sched.checksum()
+
+    def rebuild_schedule(self):
+        """Fault-recovery re-inspection: rebuild from the same Used set.
+
+        Deterministic, so the rebuilt schedule carries the original
+        fingerprint and every ghost-slot-dependent structure built at
+        ``setup()`` (remapped A_SNL, translation maps) stays valid."""
+        sched = yield from build_schedule_replicated(self.rank, self.dist, self._used)
+        return sched
+
 
 class BlockSolveSpMV(BSFragments):
     """Hand-written library path: batched dense kernels, boundary-only
@@ -136,9 +153,11 @@ class BlockSolveSpMV(BSFragments):
         used = self.A_SNL_global.column_support()
         self.sched = yield from build_schedule_replicated(self.rank, self.dist, used)
         self.A_SNL = self._ghost_remap(self.A_SNL_global, self.sched)
+        self._remember_schedule(used)
         return None
 
     def step(self, xlocal: np.ndarray):
+        yield from ensure_valid_schedule(self)
         y = np.zeros(self.nlocal)
         if self.A_D is not None:
             self.A_D.matvec(xlocal, out=y)
@@ -172,9 +191,11 @@ class BernoulliMixedBS(BSFragments):
         kSNL = compile_kernel(SPMV_SRC, {"A": self.A_SNL, "X": self._gbuf, "Y": self._ybuf})
         self._runSL = kSL.bind(A=self.A_SL, X=self._xbuf, Y=self._ybuf)
         self._runSNL = kSNL.bind(A=self.A_SNL, X=self._gbuf, Y=self._ybuf)
+        self._remember_schedule(used)
         return None
 
     def step(self, xlocal: np.ndarray):
+        yield from ensure_valid_schedule(self)
         self._ybuf.vals[:] = 0.0
         if self.nlocal:
             self._xbuf.vals[:] = xlocal
@@ -214,9 +235,11 @@ class BernoulliGlobalBS(BSFragments):
         kOff = compile_kernel(SPMV_SRC, {"A": self.off_global, "X": self._xview, "Y": self._ybuf})
         self._runD = kD.bind(A=self.A_D_ino, X=self._xview, Y=self._ybuf)
         self._runOff = kOff.bind(A=self.off_global, X=self._xview, Y=self._ybuf)
+        self._remember_schedule(used)
         return None
 
     def step(self, xlocal: np.ndarray):
+        yield from ensure_valid_schedule(self)
         ghost = yield from exchange(self.sched, xlocal)
         if self.sched.nghost:
             self._gbuf[: self.sched.nghost] = ghost

@@ -43,6 +43,7 @@ from repro.formats.translated import TranslatedVector
 from repro.kernels.spmv import SPMV_SRC
 from repro.parallel.fragment import RowFragment
 from repro.parallel.spmd_blocksolve import BlockSolveSpMV  # noqa: F401 (re-export)
+from repro.runtime.faults import ensure_valid_schedule
 from repro.runtime.inspector import (
     build_schedule_replicated,
     build_schedule_translated,
@@ -108,9 +109,17 @@ class GlobalSpMV:
         self._ybuf = DenseVector.zeros(self.nlocal)
         kernel = compile_kernel(SPMV_SRC, {"A": self.A, "X": self._xview, "Y": self._ybuf})
         self._run = kernel.bind(A=self.A, X=self._xview, Y=self._ybuf)
+        self._used = used
+        self._sched_sum = self.sched.checksum()
         return None
 
+    def rebuild_schedule(self):
+        """Fault-recovery re-inspection: rebuild from the same Used set."""
+        sched = yield from build_schedule_replicated(self.rank, self.dist, self._used)
+        return sched
+
     def step(self, xlocal: np.ndarray):
+        yield from ensure_valid_schedule(self)
         ghost = yield from exchange(self.sched, xlocal)
         if self.sched.nghost:
             self._gbuf[: self.sched.nghost] = ghost
@@ -161,9 +170,17 @@ class MixedSpMV:
         k_ghost = compile_kernel(SPMV_SRC, {"A": self.A_ghost, "X": self._gbuf, "Y": self._ybuf})
         self._run_local = k_local.bind(A=self.A_local, X=self._xbuf, Y=self._ybuf)
         self._run_ghost = k_ghost.bind(A=self.A_ghost, X=self._gbuf, Y=self._ybuf)
+        self._used = used
+        self._sched_sum = self.sched.checksum()
         return None
 
+    def rebuild_schedule(self):
+        """Fault-recovery re-inspection: rebuild from the same Used set."""
+        sched = yield from build_schedule_replicated(self.rank, self.dist, self._used)
+        return sched
+
     def step(self, xlocal: np.ndarray):
+        yield from ensure_valid_schedule(self)
         self._ybuf.vals[:] = 0.0
         if self.nlocal:
             self._xbuf.vals[:] = xlocal

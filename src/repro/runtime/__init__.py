@@ -19,6 +19,11 @@ construction, request/exchange volume — are real computation and real data
 movement here too.
 """
 
+from repro.runtime.faults import (
+    DeliveryConfig,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.runtime.machine import Machine, CommModel, RunStats, PhaseStats
 from repro.runtime.inspector import (
     GatherSchedule,
@@ -32,6 +37,9 @@ __all__ = [
     "CommModel",
     "RunStats",
     "PhaseStats",
+    "FaultPlan",
+    "FaultInjector",
+    "DeliveryConfig",
     "GatherSchedule",
     "build_schedule_replicated",
     "build_schedule_translated",

@@ -73,6 +73,13 @@ class GatherSchedule:
         ok = (self.nghost > 0) & (self.ghost_global[pos] == g)
         return np.where(ok, pos, -1)
 
+    def checksum(self) -> int:
+        """CRC32 fingerprint of every index structure the executor trusts
+        (the ``RecvInd`` integrity check of the fault-recovery protocol)."""
+        from repro.runtime.faults import schedule_checksum
+
+        return schedule_checksum(self)
+
 
 def _group_requests(owners: np.ndarray, payload_builder):
     send = {}

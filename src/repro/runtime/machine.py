@@ -27,9 +27,10 @@ from typing import Callable, Generator, Iterable
 
 import numpy as np
 
-from repro.errors import PhaseNotFoundError, RuntimeMachineError
+from repro.errors import CommFailureError, PhaseNotFoundError, RuntimeMachineError
 from repro.observability import metrics as _metrics
 from repro.observability import trace as _trace
+from repro.runtime import faults as _faults
 
 __all__ = ["CommModel", "PhaseStats", "RunStats", "Machine", "payload_nbytes"]
 
@@ -43,9 +44,13 @@ def payload_nbytes(obj) -> int:
     * ``bool`` is one byte on the wire, not a machine word,
     * numpy scalars (including structured ``np.void`` records) know their
       own width — a ``float32`` costs 4, not a flat 8,
-    * numpy arrays (dense, structured, or record arrays) use ``nbytes``,
+    * numpy arrays cost their *logical* element bytes
+      (``size * itemsize``), which is stride-independent: a non-contiguous
+      view or a 0-d array is sized by what crosses the wire, not by its
+      backing buffer; object-dtype arrays recurse into their elements
+      instead of counting pointer words,
     * Python ``int``/``float`` cost one 8-byte word,
-    * ``bytes``/``bytearray``/``str`` cost their length,
+    * ``bytes``/``bytearray``/``str``/``memoryview`` cost their length,
     * mappings cost the sum over keys and values,
     * any other sequence/iterable-like (tuple, list, range, ...) costs the
       sum over its elements,
@@ -58,9 +63,18 @@ def payload_nbytes(obj) -> int:
     if isinstance(obj, np.generic):  # any numpy scalar, incl. structured void
         return int(obj.nbytes)
     if isinstance(obj, np.ndarray):
-        return int(obj.nbytes)
+        if obj.dtype == object:
+            # pointer words say nothing about wire size; price the elements
+            # (works for 0-d object arrays too — .flat iterates them)
+            return sum(payload_nbytes(x) for x in obj.flat)
+        # logical element bytes: correct for 0-d arrays, non-contiguous
+        # views, and broadcast views alike (nbytes is too, but only by
+        # definition — this makes the stride-independence explicit)
+        return int(obj.size) * int(obj.itemsize)
     if isinstance(obj, (int, float)):
         return 8
+    if isinstance(obj, memoryview):
+        return int(obj.nbytes)
     if isinstance(obj, (bytes, bytearray, str)):
         return len(obj)
     if isinstance(obj, dict):
@@ -97,6 +111,9 @@ class PhaseStats:
     #: sent to rank q (allreduce bytes attributed to the ring neighbor,
     #: allgather bytes to every peer, so the total matches ``nbytes``)
     bytes_matrix: np.ndarray | None = None
+    #: retransmissions per rank under fault injection (None on the happy
+    #: path — the field exists only when a fault injector was installed)
+    retries: np.ndarray | None = None
 
     def step_time(self, model: CommModel) -> float:
         """Estimated parallel duration of this superstep: slowest rank's
@@ -111,6 +128,9 @@ class RunStats:
 
     nprocs: int
     phases: list[PhaseStats] = field(default_factory=list)
+    #: canonical fault-event log of the run (empty without fault injection):
+    #: ``(kind, superstep, src, dst, seq, attempt)`` tuples in injection order
+    fault_events: list = field(default_factory=list)
 
     def total_compute(self) -> np.ndarray:
         """Per-rank compute seconds over the whole run."""
@@ -120,6 +140,15 @@ class RunStats:
 
     def total_msgs(self) -> int:
         return int(sum(p.msgs.sum() for p in self.phases))
+
+    def total_retries(self) -> int:
+        """Retransmissions over the whole run (0 without fault injection).
+
+        Composes with :meth:`phase`: ``stats.phase("executor").total_retries()``
+        is the per-phase retry count of the executor window."""
+        return int(
+            sum(p.retries.sum() for p in self.phases if p.retries is not None)
+        )
 
     def total_nbytes(self) -> int:
         return int(sum(p.nbytes.sum() for p in self.phases))
@@ -178,12 +207,137 @@ class RunStats:
 
 
 class Machine:
-    """A simulated P-processor message-passing machine."""
+    """A simulated P-processor message-passing machine.
 
-    def __init__(self, nprocs: int):
+    ``faults`` (a :class:`~repro.runtime.faults.FaultPlan` or a prebuilt
+    :class:`~repro.runtime.faults.FaultInjector`) installs the
+    fault-injecting delivery layer: every remote message then travels as a
+    sequence-numbered, checksummed envelope through a drop / duplicate /
+    reorder / corrupt / stall adversary, with bounded retransmission per
+    ``delivery`` (a :class:`~repro.runtime.faults.DeliveryConfig`).  The
+    protocol either delivers exactly the sent bytes or raises
+    :class:`~repro.errors.CommFailureError`.  Without ``faults`` the
+    original zero-overhead delivery path runs, byte-for-byte unchanged.
+    """
+
+    def __init__(self, nprocs: int, faults=None, delivery=None):
         if nprocs < 1:
             raise RuntimeMachineError("need at least one processor")
         self.nprocs = int(nprocs)
+        if faults is None:
+            self.injector = None
+        elif isinstance(faults, _faults.FaultInjector):
+            self.injector = faults
+        else:
+            self.injector = _faults.FaultInjector(
+                faults, delivery or _faults.DeliveryConfig()
+            )
+        self.delivery = (
+            delivery
+            or (self.injector.delivery if self.injector else None)
+            or _faults.DeliveryConfig()
+        )
+
+    # ------------------------------------------------------------------
+    # fault-injecting point-to-point delivery (remote messages only)
+    # ------------------------------------------------------------------
+    def _deliver(self, src, dst, payload, step, msgs, nbytes, bmat, retries, penalty):
+        """Ship one message through the adversary with bounded retry.
+
+        Returns the list of arrival envelopes ``(src, seq, payload)`` —
+        usually one, two when duplicated, never carrying corrupt data
+        (corruption is detected by the envelope checksum and NACKed).
+        Every attempt counts as wire traffic; retry k charges the sender
+        the modeled ack-timeout wait.  Raises CommFailureError when the
+        retry budget is exhausted.
+        """
+        inj = self.injector
+        cfg = self.delivery
+        seq = inj.next_seq(src, dst)
+        checksum = _faults.payload_checksum(payload)
+        nb = payload_nbytes(payload)
+        attempt = 0
+        while True:
+            attempt += 1
+            msgs[src] += 1
+            nbytes[src] += nb
+            if bmat is not None:
+                bmat[src, dst] += nb
+            fate = inj.fate(src, dst, seq, attempt)
+            failed = False
+            if fate.drop:
+                inj.record("drop", step, src, dst, seq, attempt)
+                failed = True
+            elif fate.corrupt:
+                bad = _faults.corrupt_payload(
+                    payload, inj.corruption_rng(src, dst, seq, attempt)
+                )
+                if bad is not None and _faults.payload_checksum(bad) != checksum:
+                    # receiver sees the checksum mismatch and NACKs
+                    inj.record("corrupt", step, src, dst, seq, attempt)
+                    failed = True
+                # else: nothing corruptible in the payload — arrives intact
+            if not failed:
+                out = [(src, seq, payload)]
+                if fate.duplicate:
+                    inj.record("duplicate", step, src, dst, seq, attempt)
+                    out.append((src, seq, payload))
+                retries[src] += attempt - 1
+                if attempt > 1:
+                    _metrics.record("runtime.retries", attempt - 1)
+                return out
+            if attempt > cfg.max_retries:
+                raise CommFailureError(
+                    f"message {src}->{dst} seq={seq} undeliverable after "
+                    f"{attempt} attempts (retry budget {cfg.max_retries}); "
+                    f"plan: {inj.plan.describe()}",
+                    plan=inj.plan,
+                    src=src,
+                    dst=dst,
+                    seq=seq,
+                    attempts=attempt,
+                )
+            penalty[src] += cfg.retry_wait(attempt)
+
+    def _faulty_alltoallv(
+        self, alive, requests, inbox, step, msgs, nbytes, bmat, retries, extra
+    ):
+        """All-to-all through the adversary: sequence-numbered envelopes,
+        per-destination arrival reordering, duplicate suppression.
+
+        Self-messages never touch the network (exactly like the happy
+        path, where they are routed without being counted)."""
+        P = self.nprocs
+        inj = self.injector
+        arrivals: list[list] = [[] for _ in range(P)]
+        selfmsg: list[dict] = [dict() for _ in range(P)]
+        for p in alive:
+            send = requests[p][1] or {}
+            for q, payload in send.items():
+                q = int(q)
+                if not (0 <= q < P):
+                    raise RuntimeMachineError(f"bad destination {q}")
+                if q == p:
+                    selfmsg[p][p] = payload
+                    continue
+                arrivals[q].extend(
+                    self._deliver(p, q, payload, step, msgs, nbytes, bmat, retries, extra)
+                )
+        for q in alive:
+            envs = arrivals[q]
+            perm = inj.reorder_perm(q, step, len(envs))
+            if perm is not None:
+                envs = [envs[int(k)] for k in perm]
+                inj.record("reorder", step, src=-1, dst=q)
+            recv = dict(selfmsg[q])
+            seen: set[tuple[int, int]] = set()
+            for src, seq, payload in envs:
+                if (src, seq) in seen:
+                    inj.record("dup_suppressed", step, src, q, seq)
+                    continue
+                seen.add((src, seq))
+                recv[src] = payload
+            inbox[q] = recv
 
     # ------------------------------------------------------------------
     def run(
@@ -196,13 +350,30 @@ class Machine:
         ``make_program(p)`` builds rank p's generator.  Returns each
         rank's return value and the run statistics.  All ranks must issue
         the same sequence of collectives (checked) — the SPMD contract.
+
+        While the run is in flight the machine's fault injector (if any)
+        is visible to rank programs through
+        :func:`repro.runtime.faults.active_injector`, which is how the
+        executors know to run the schedule-validation protocol.
         """
+        with _faults._activation(self.injector):
+            return self._run(make_program, collect_stats)
+
+    def _run(
+        self,
+        make_program: Callable[[int], Generator],
+        collect_stats: bool = True,
+    ) -> tuple[list, RunStats]:
         P = self.nprocs
         gens = [make_program(p) for p in range(P)]
         inbox: list = [None] * P
         done = [False] * P
         results: list = [None] * P
         stats = RunStats(P)
+        inj = self.injector
+        if inj is not None:
+            inj.reset()  # same-plan replays are bit-identical
+        step_no = 0  # superstep counter (stall / reorder entropy coordinate)
 
         # observability: per-rank spans per phase window + comm counters
         tracer = _trace.get_tracer()
@@ -262,49 +433,82 @@ class Machine:
             msgs = np.zeros(P, dtype=np.int64)
             nbytes = np.zeros(P, dtype=np.int64)
             bmat = np.zeros((P, P), dtype=np.int64) if collect_stats else None
+            retries = np.zeros(P, dtype=np.int64) if inj is not None else None
+            # modeled extra seconds this superstep: stalls + retry waits
+            extra = np.zeros(P) if inj is not None else None
             label = None
+            if inj is not None and kind != "phase":
+                for p in alive:
+                    st = inj.stall_seconds(p, step_no)
+                    if st > 0.0:
+                        extra[p] += st
+                        inj.record("stall", step_no, src=p, dst=p)
 
             if kind == "alltoallv":
-                recv: list[dict] = [dict() for _ in range(P)]
-                for p in alive:
-                    send = requests[p][1] or {}
-                    for q, payload in send.items():
-                        if not (0 <= q < P):
-                            raise RuntimeMachineError(f"bad destination {q}")
-                        recv[q][p] = payload
-                        if q != p:
-                            msgs[p] += 1
-                            nb = payload_nbytes(payload)
-                            nbytes[p] += nb
-                            if bmat is not None:
-                                bmat[p, q] += nb
-                for p in alive:
-                    inbox[p] = recv[p]
+                if inj is not None:
+                    self._faulty_alltoallv(
+                        alive, requests, inbox, step_no, msgs, nbytes, bmat, retries, extra
+                    )
+                else:
+                    recv: list[dict] = [dict() for _ in range(P)]
+                    for p in alive:
+                        send = requests[p][1] or {}
+                        for q, payload in send.items():
+                            if not (0 <= q < P):
+                                raise RuntimeMachineError(f"bad destination {q}")
+                            recv[q][p] = payload
+                            if q != p:
+                                msgs[p] += 1
+                                nb = payload_nbytes(payload)
+                                nbytes[p] += nb
+                                if bmat is not None:
+                                    bmat[p, q] += nb
+                    for p in alive:
+                        inbox[p] = recv[p]
             elif kind == "allreduce":
                 vals = [requests[p][1] for p in alive]
+                if inj is not None:
+                    # each contribution must survive delivery (ring model:
+                    # it travels to the next rank); corrupt/dropped
+                    # contributions are retransmitted, never reduced
+                    for p in alive:
+                        self._deliver(
+                            p, (p + 1) % P, requests[p][1], step_no,
+                            msgs, nbytes, bmat, retries, extra,
+                        )
                 total = vals[0]
                 for v in vals[1:]:
                     total = total + v
                 for p in alive:
                     inbox[p] = total
-                    msgs[p] += 1
-                    nb = payload_nbytes(requests[p][1])
-                    nbytes[p] += nb
-                    if bmat is not None:
-                        # ring model: the reduction contribution travels to
-                        # the next rank (keeps matrix total == total bytes)
-                        bmat[p, (p + 1) % P] += nb
+                    if inj is None:
+                        msgs[p] += 1
+                        nb = payload_nbytes(requests[p][1])
+                        nbytes[p] += nb
+                        if bmat is not None:
+                            # ring model: the reduction contribution travels
+                            # to the next rank (keeps matrix total == bytes)
+                            bmat[p, (p + 1) % P] += nb
             elif kind == "allgather":
                 gathered = [requests[p][1] for p in alive]
                 for p in alive:
                     inbox[p] = list(gathered)
-                    msgs[p] += P - 1
-                    nb = payload_nbytes(requests[p][1])
-                    nbytes[p] += nb * (P - 1)
-                    if bmat is not None:
+                    if inj is not None:
+                        # one faultable copy per peer
                         for q in range(P):
                             if q != p:
-                                bmat[p, q] += nb
+                                self._deliver(
+                                    p, q, requests[p][1], step_no,
+                                    msgs, nbytes, bmat, retries, extra,
+                                )
+                    else:
+                        msgs[p] += P - 1
+                        nb = payload_nbytes(requests[p][1])
+                        nbytes[p] += nb * (P - 1)
+                        if bmat is not None:
+                            for q in range(P):
+                                if q != p:
+                                    bmat[p, q] += nb
             elif kind == "barrier":
                 for p in alive:
                     inbox[p] = None
@@ -328,6 +532,9 @@ class Machine:
 
             win_msgs += msgs
             win_bytes += nbytes
+            if inj is not None and extra.any():
+                compute = compute + extra
+                win_compute += extra
             if _metrics.metrics_enabled() and kind != "phase":
                 _metrics.record("machine.collectives", 1, kind=kind)
                 _metrics.record("machine.msgs", int(msgs.sum()), kind=kind)
@@ -339,9 +546,15 @@ class Machine:
                 )
             if collect_stats:
                 stats.phases.append(
-                    PhaseStats(kind, label, compute, msgs, nbytes, bytes_matrix=bmat)
+                    PhaseStats(
+                        kind, label, compute, msgs, nbytes,
+                        bytes_matrix=bmat, retries=retries,
+                    )
                 )
+            step_no += 1
 
+        if inj is not None:
+            stats.fault_events = inj.event_log()
         _flush_window()
         if tracer is not None and collect_stats:
             tracer.instant(

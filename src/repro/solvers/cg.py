@@ -155,6 +155,8 @@ def parallel_cg(
     niter: int = 10,
     tol: float = 0.0,
     dist=None,
+    faults=None,
+    delivery=None,
 ) -> CGResult:
     """SPMD preconditioned CG on the simulated machine.
 
@@ -170,13 +172,19 @@ def parallel_cg(
 
     ``niter`` bounds the iterations (the paper runs exactly 10); set
     ``tol > 0`` to also stop on convergence.
+
+    ``faults`` (a :class:`~repro.runtime.faults.FaultPlan`) and
+    ``delivery`` (a :class:`~repro.runtime.faults.DeliveryConfig`) run the
+    solve under the fault-injecting delivery layer: the result either
+    matches the fault-free solve bit-for-bit or the call raises
+    :class:`~repro.errors.CommFailureError`.
     """
     from repro.distribution.block import BlockDistribution
     from repro.distribution.multiblock import MultiBlockDistribution
 
     b = np.asarray(b, dtype=np.float64)
     n = len(b)
-    machine = Machine(nprocs)
+    machine = Machine(nprocs, faults=faults, delivery=delivery)
 
     bs_variants = {
         "blocksolve": BlockSolveSpMV,

@@ -1,0 +1,165 @@
+"""Satellite 1: property-based round-trip tests for index translation.
+
+Every distribution is a bijection [0, n) ↔ (p, i') (paper Sec. 3.1), so
+``global → (owner, local) → global`` must be the identity — locally for
+every distribution class (including ranks that own zero rows), and
+through the Chaos-style *distributed* translation table for the indirect
+case (build + dereference on the simulated machine).
+"""
+
+import numpy as np
+import pytest
+
+from repro.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    GeneralizedBlockDistribution,
+    IndirectDistribution,
+    MultiBlockDistribution,
+)
+from repro.distribution.translation import build_translation_table, dereference
+from repro.errors import DistributionError
+from repro.runtime import Machine
+from tests.simulation.harness import case_rng
+
+
+def _all_distributions(n, P, rng):
+    """One instance of every distribution class over [0, n)."""
+    sizes = rng.multinomial(n, np.ones(P) / P)
+    ranges, start = [], 0
+    for p, s in enumerate(sizes):
+        if s:
+            ranges.append((start, start + int(s), p))
+            start += int(s)
+    return [
+        BlockDistribution(n, P),
+        CyclicDistribution(n, P),
+        BlockCyclicDistribution(n, P, block=max(1, int(rng.integers(1, 4)))),
+        GeneralizedBlockDistribution([int(s) for s in sizes]),
+        IndirectDistribution.random(n, P, rng=int(rng.integers(2**31))),
+        MultiBlockDistribution(ranges),
+    ]
+
+
+@pytest.mark.parametrize("case_id", range(12))
+def test_global_local_global_identity(case_id):
+    rng = case_rng(case_id, 20)
+    n = int(rng.integers(1, 40))
+    P = int(rng.integers(2, 6))
+    for dist in _all_distributions(n, P, rng):
+        dist.validate()
+        # MultiBlock infers nprocs from its ranges: may be < P when
+        # trailing ranks drew zero rows in the multinomial split
+        Pd = dist.nprocs
+        i = np.arange(n)
+        p, l = dist.owner(i), dist.local_index(i)
+        # forward-inverse identity, vectorized over each rank's slice
+        for q in range(Pd):
+            mine = i[p == q]
+            assert np.array_equal(dist.owned_by(q), np.sort(mine)) or np.array_equal(
+                np.sort(dist.owned_by(q)), np.sort(mine)
+            )
+            if len(mine):
+                back = dist.global_index(q, l[p == q])
+                assert np.array_equal(back, mine), type(dist).__name__
+        # owned_by is ordered by local offset and partitions [0, n)
+        counts = [dist.local_count(q) for q in range(Pd)]
+        assert sum(counts) == n
+        union = np.concatenate([dist.owned_by(q) for q in range(Pd)]) if n else np.array([])
+        assert np.array_equal(np.sort(union), i)
+
+
+def test_zero_row_ranks():
+    """Ranks owning nothing: identity still holds, owned_by is empty."""
+    # more processors than rows — some ranks necessarily own zero rows
+    for dist in [
+        BlockDistribution(2, 4),
+        CyclicDistribution(2, 4),
+        BlockCyclicDistribution(2, 4, block=2),
+        GeneralizedBlockDistribution([0, 2, 0, 0]),
+        MultiBlockDistribution([(0, 2, 1)]),
+    ]:
+        dist.validate()
+        empties = [q for q in range(dist.nprocs) if dist.local_count(q) == 0]
+        assert empties, f"{type(dist).__name__} has no empty rank in this setup"
+        for q in empties:
+            assert dist.owned_by(q).size == 0
+        i = np.arange(dist.nglobal)
+        p, l = dist.owner(i), dist.local_index(i)
+        for q in range(dist.nprocs):
+            mine = i[p == q]
+            if len(mine):
+                assert np.array_equal(dist.global_index(q, l[p == q]), mine)
+
+
+def test_empty_distribution():
+    dist = BlockDistribution(0, 3)
+    dist.validate()
+    for q in range(3):
+        assert dist.owned_by(q).size == 0
+
+
+@pytest.mark.parametrize("case_id", range(6))
+def test_distributed_translation_table_round_trip(case_id):
+    """Chaos table on the machine: build from owned lists, dereference
+    arbitrary queries, get exactly what the local bijection says."""
+    rng = case_rng(case_id, 21)
+    n = int(rng.integers(4, 40))
+    P = int(rng.integers(2, 5))
+    dist = IndirectDistribution.random(n, P, rng=int(rng.integers(2**31)))
+    queries = rng.integers(0, n, size=int(rng.integers(1, 2 * n)))
+
+    def prog(p):
+        table = yield from build_translation_table(p, n, P, dist.owned_by(p))
+        owners, locals_ = yield from dereference(table, queries)
+        return owners, locals_
+
+    results, _ = Machine(P).run(prog)
+    want_owner = dist.owner(queries)
+    want_local = dist.local_index(queries)
+    for p in range(P):
+        got_owner, got_local = results[p]
+        assert np.array_equal(got_owner, want_owner)
+        assert np.array_equal(got_local, want_local)
+        # and the pair maps back to the original global index
+        back = np.array(
+            [dist.global_index(int(o), int(l)) for o, l in zip(got_owner, got_local)]
+        )
+        assert np.array_equal(back, queries)
+
+
+def test_translation_table_with_zero_row_rank():
+    """A rank registering no indices still participates collectively."""
+    n, P = 6, 3
+    # rank 2 owns nothing
+    mapping = np.array([0, 0, 1, 1, 0, 1])
+    dist = IndirectDistribution(mapping, nprocs=P)
+    queries = np.arange(n)
+
+    def prog(p):
+        table = yield from build_translation_table(p, n, P, dist.owned_by(p))
+        return (yield from dereference(table, queries))
+
+    results, _ = Machine(P).run(prog)
+    for p in range(P):
+        owners, locals_ = results[p]
+        assert np.array_equal(owners, dist.owner(queries))
+        assert np.array_equal(locals_, dist.local_index(queries))
+
+
+def test_unregistered_index_is_loud():
+    """If a rank forgets to register an owned index, the build fails with
+    a DistributionError instead of silently handing out owner -1."""
+    n, P = 8, 2
+    dist = BlockDistribution(n, P)
+
+    def prog(p):
+        owned = dist.owned_by(p)
+        if p == 1:
+            owned = owned[:-1]  # "forget" one index
+        table = yield from build_translation_table(p, n, P, owned)
+        return table
+
+    with pytest.raises(DistributionError, match="unregistered"):
+        Machine(P).run(prog)

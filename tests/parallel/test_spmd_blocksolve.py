@@ -111,3 +111,49 @@ def test_empty_rank_is_handled():
         iperm = bs.perm.iperm
         want = m.to_dense()[np.ix_(iperm, iperm)] @ x
         assert np.allclose(y, want)
+
+
+def test_no_overlap_between_ranks_means_no_ghosts():
+    """A (block-)diagonal matrix has no cross-rank coupling: neighboring
+    ranks share nothing, the mixed inspector finds an empty ghost set, and
+    the executor exchanges zero messages — yet the answer is exact."""
+    from repro.formats import COOMatrix
+
+    n = 12
+    d = np.arange(1.0, n + 1)
+    m = COOMatrix.from_entries((n, n), np.arange(n), np.arange(n), d)
+    bs = BlockSolveMatrix.from_coo(m)
+    x = np.linspace(-2, 2, n)
+    for P in (2, 3):
+        y, stats, strats = run_variant(BernoulliMixedBS, bs, P, x)
+        iperm = bs.perm.iperm
+        want = m.to_dense()[np.ix_(iperm, iperm)] @ x
+        assert np.allclose(y, want)
+        for p in range(P):
+            assert strats[p].sched.nghost == 0
+        # executor phase moves no data between ranks
+        assert stats.total_msgs() == 0
+        assert not stats.comm_matrix().any()
+    # the library variant agrees on the same degenerate structure
+    y_lib, stats_lib, _ = run_variant(BlockSolveSpMV, bs, 2, x)
+    assert np.allclose(y_lib, m.to_dense()[np.ix_(iperm, iperm)] @ x)
+    assert stats_lib.total_msgs() == 0
+
+
+@pytest.mark.parametrize("cls", TRIO, ids=lambda c: c.__name__)
+def test_single_rank_degenerates_to_sequential(cls):
+    """nprocs=1: the SPMD executor is the sequential SpMV — same bits,
+    no network traffic, and every ghost is resolved locally."""
+    m, bs = build_bs(points=10, dof=2, rng=5)
+    n = bs.shape[0]
+    x = np.sin(np.arange(n, dtype=float))
+    y, stats, strats = run_variant(cls, bs, 1, x)
+    iperm = bs.perm.iperm
+    want = m.to_dense()[np.ix_(iperm, iperm)] @ x
+    assert np.allclose(y, want)
+    assert stats.total_msgs() == 0
+    assert stats.total_nbytes() == 0
+    assert not stats.comm_matrix().any()
+    # one rank owns everything: the schedule has no remote peers
+    sched = strats[0].sched
+    assert not sched.send_locals and not sched.recv_slots

@@ -231,6 +231,49 @@ def test_payload_nbytes_sequences_and_buffers():
     assert payload_nbytes(nested) == 8 + (16 + 1) + 1 + 4
 
 
+def test_payload_nbytes_zero_d_arrays():
+    # 0-d arrays are one logical element, never their buffer or a word
+    assert payload_nbytes(np.array(3.0)) == 8
+    assert payload_nbytes(np.array(3, dtype=np.int16)) == 2
+    # 0-d object array prices its single element, not a pointer word
+    assert payload_nbytes(np.array(True, dtype=object)) == 1
+    assert payload_nbytes(np.array(None, dtype=object)) == 0
+
+
+def test_payload_nbytes_noncontiguous_views():
+    # wire size is logical (size * itemsize) — stride independent
+    base = np.arange(16.0)
+    assert payload_nbytes(base[::2]) == 8 * 8
+    assert payload_nbytes(base[::-1]) == 16 * 8
+    m = np.arange(12.0).reshape(3, 4)
+    assert payload_nbytes(m[:, 1]) == 3 * 8
+    assert payload_nbytes(m.T) == 12 * 8
+    assert payload_nbytes(m[1:, 2:]) == 4 * 8
+    # broadcast views report the *expanded* logical size
+    bcast = np.broadcast_to(np.ones(3), (4, 3))
+    assert payload_nbytes(bcast) == 12 * 8
+    # empty slices carry nothing
+    assert payload_nbytes(base[:0]) == 0
+
+
+def test_payload_nbytes_object_dtype_recurses():
+    arr = np.empty(3, dtype=object)
+    arr[0] = np.ones(2)  # 16
+    arr[1] = "abc"  # 3
+    arr[2] = True  # 1
+    assert payload_nbytes(arr) == 20
+    # nested object arrays recurse all the way down
+    outer = np.empty(1, dtype=object)
+    outer[0] = arr
+    assert payload_nbytes(outer) == 20
+
+
+def test_payload_nbytes_memoryview():
+    assert payload_nbytes(memoryview(b"abcdef")) == 6
+    assert payload_nbytes(memoryview(np.arange(4, dtype=np.int32))) == 16
+    assert payload_nbytes(memoryview(b"")) == 0
+
+
 def test_phase_unknown_label_raises():
     m = Machine(2)
 

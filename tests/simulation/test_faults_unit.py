@@ -1,0 +1,331 @@
+"""Unit tests for :mod:`repro.runtime.faults` and the hardened delivery
+layer in the machine — every public piece in isolation, plus small
+machine-level programs pinning the protocol behaviors (retry, exhaustion,
+duplicate suppression, reorder, faulted allreduce/allgather)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommFailureError
+from repro.runtime import DeliveryConfig, FaultPlan, Machine
+from repro.runtime.faults import (
+    FaultInjector,
+    active_injector,
+    corrupt_payload,
+    corrupt_schedule,
+    payload_checksum,
+    schedule_checksum,
+)
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=42, drop=0.1, duplicate=0.2, reorder=0.3, corrupt=0.4,
+            stall=0.5, stall_seconds=2e-3, corrupt_schedule=((1, 0), (2, 3)),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError, match="drop"):
+            FaultPlan(drop=1.5)
+        with pytest.raises(ValueError, match="stall"):
+            FaultPlan(stall=-0.1)
+
+    def test_corrupt_schedule_normalized(self):
+        plan = FaultPlan(corrupt_schedule=[[np.int64(1), np.int64(2)]])
+        assert plan.corrupt_schedule == ((1, 2),)
+        assert all(type(v) is int for pair in plan.corrupt_schedule for v in pair)
+
+    def test_quiet(self):
+        assert FaultPlan(seed=9).quiet
+        assert not FaultPlan(drop=0.01).quiet
+        assert not FaultPlan(corrupt_schedule=((0, 0),)).quiet
+
+    def test_describe(self):
+        assert "quiet" in FaultPlan(seed=3).describe()
+        text = FaultPlan(drop=0.2, corrupt_schedule=((1, 0),)).describe()
+        assert "drop=0.2" in text and "corrupt_schedule" in text
+
+
+# ----------------------------------------------------------------------
+# DeliveryConfig
+# ----------------------------------------------------------------------
+class TestDeliveryConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeliveryConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            DeliveryConfig(backoff=0.5)
+
+    def test_retry_wait_backoff(self):
+        cfg = DeliveryConfig(timeout=1e-3, backoff=2.0)
+        assert cfg.retry_wait(1) == 1e-3
+        assert cfg.retry_wait(2) == 2e-3
+        assert cfg.retry_wait(3) == 4e-3
+
+
+# ----------------------------------------------------------------------
+# payload checksum + corruption
+# ----------------------------------------------------------------------
+class TestPayloadChecksum:
+    def test_dict_order_independent(self):
+        a = {"x": np.arange(3.0), "y": 7}
+        b = {"y": 7, "x": np.arange(3.0)}
+        assert payload_checksum(a) == payload_checksum(b)
+
+    def test_distinguishes_shape_and_dtype(self):
+        assert payload_checksum(np.zeros(4)) != payload_checksum(np.zeros((2, 2)))
+        assert payload_checksum(np.zeros(4)) != payload_checksum(np.zeros(4, np.int64))
+
+    def test_covers_scalars_and_none(self):
+        vals = [None, True, 3, 2.5, "s", b"b", np.float64(1.5), (1, [2.0])]
+        sums = {payload_checksum(v) for v in vals}
+        assert len(sums) == len(vals)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            np.arange(6.0),
+            np.arange(6).reshape(2, 3),
+            np.array([True, False]),
+            True,
+            7,
+            0.0,
+            b"hello",
+            (np.arange(2.0), 5),
+            [1.0, 2.0],
+            {"a": np.arange(3.0)},
+        ],
+        ids=lambda p: type(p).__name__ + str(getattr(p, "shape", "")),
+    )
+    def test_corruption_always_detected(self, payload):
+        rng = np.random.default_rng(0)
+        bad = corrupt_payload(payload, rng)
+        assert bad is not None
+        assert payload_checksum(bad) != payload_checksum(payload)
+
+    @pytest.mark.parametrize(
+        "payload", [np.empty(0), b"", (), [], {}, {"k": np.empty(0)}, None, "str"]
+    )
+    def test_uncorruptible_payloads_return_none(self, payload):
+        assert corrupt_payload(payload, np.random.default_rng(0)) is None
+
+    def test_corruption_is_a_copy(self):
+        orig = np.arange(4.0)
+        keep = orig.copy()
+        corrupt_payload(orig, np.random.default_rng(1))
+        assert np.array_equal(orig, keep)
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_rejects_non_plan(self):
+        with pytest.raises(TypeError):
+            FaultInjector({"drop": 0.5})
+
+    def test_fate_is_order_independent(self):
+        """Decisions keyed on coordinates, not a shared stream: querying in
+        any order gives the same verdicts."""
+        coords = [(0, 1, 0, 1), (1, 0, 3, 2), (2, 3, 1, 1), (0, 2, 0, 1)]
+        a = FaultInjector(FaultPlan(seed=5, drop=0.5, duplicate=0.5, corrupt=0.5))
+        b = FaultInjector(FaultPlan(seed=5, drop=0.5, duplicate=0.5, corrupt=0.5))
+        fa = [a.fate(*c) for c in coords]
+        fb = [b.fate(*c) for c in reversed(coords)]
+        assert fa == list(reversed(fb))
+
+    def test_fate_depends_on_seed_and_attempt(self):
+        inj = FaultInjector(FaultPlan(seed=5, drop=0.5))
+        fates = [inj.fate(0, 1, 0, k) for k in range(1, 40)]
+        assert any(f.drop for f in fates) and any(not f.drop for f in fates)
+
+    def test_next_seq_and_reset(self):
+        inj = FaultInjector(FaultPlan(seed=1))
+        assert [inj.next_seq(0, 1), inj.next_seq(0, 1), inj.next_seq(1, 0)] == [0, 1, 0]
+        inj.reset()
+        assert inj.next_seq(0, 1) == 0
+        assert inj.events == []
+
+    def test_reorder_perm(self):
+        inj = FaultInjector(FaultPlan(seed=2, reorder=1.0))
+        assert inj.reorder_perm(0, 0, 1) is None  # nothing to reorder
+        perms = [inj.reorder_perm(0, s, 4) for s in range(20)]
+        real = [p for p in perms if p is not None]
+        assert real and all(sorted(p) == [0, 1, 2, 3] for p in real)
+        assert all(not np.array_equal(p, np.arange(4)) for p in real)
+        quiet = FaultInjector(FaultPlan(seed=2))
+        assert quiet.reorder_perm(0, 0, 4) is None
+
+    def test_stall_seconds(self):
+        inj = FaultInjector(FaultPlan(seed=3, stall=1.0, stall_seconds=0.5))
+        assert inj.stall_seconds(0, 0) == 0.5
+        assert FaultInjector(FaultPlan(seed=3)).stall_seconds(0, 0) == 0.0
+
+    def test_event_log_canonical(self):
+        inj = FaultInjector(FaultPlan(seed=4))
+        inj.record("drop", step=2, src=0, dst=1, seq=5, attempt=1)
+        assert inj.event_log() == [("drop", 2, 0, 1, 5, 1)]
+
+    def test_no_active_injector_outside_run(self):
+        assert active_injector() is None
+
+
+# ----------------------------------------------------------------------
+# schedule checksum / corruption
+# ----------------------------------------------------------------------
+def _sample_schedules():
+    """Build real gather schedules by running the (collective) inspector."""
+    from repro.distribution import BlockDistribution
+    from repro.runtime.inspector import build_schedule_replicated
+
+    dist = BlockDistribution(8, 2)
+    used = [np.array([0, 3, 4, 6]), np.array([1, 4, 5, 7])]
+
+    def prog(p):
+        sched = yield from build_schedule_replicated(p, dist, used[p])
+        return sched
+
+    scheds, _ = Machine(2).run(prog)
+    return scheds
+
+
+class TestScheduleChecksum:
+    def test_stable_and_matches_method(self):
+        s0, _ = _sample_schedules()
+        assert schedule_checksum(s0) == schedule_checksum(s0) == s0.checksum()
+
+    def test_corruption_changes_checksum(self):
+        s0, _ = _sample_schedules()
+        before = schedule_checksum(s0)
+        assert corrupt_schedule(s0, np.random.default_rng(0))
+        assert schedule_checksum(s0) != before
+
+    def test_rebuild_restores_fingerprint(self):
+        """Re-inspection from the same Used set restores the exact
+        fingerprint — the invariant the recovery protocol relies on."""
+        a0, _ = _sample_schedules()
+        fp = schedule_checksum(a0)
+        corrupt_schedule(a0, np.random.default_rng(1))
+        assert schedule_checksum(a0) != fp
+        rebuilt, _ = _sample_schedules()
+        assert schedule_checksum(rebuilt) == fp
+
+
+# ----------------------------------------------------------------------
+# machine-level protocol behavior (tiny hand-written rank programs)
+# ----------------------------------------------------------------------
+def _ping(nprocs):
+    """Every rank sends its payload to every other rank, returns its inbox."""
+
+    def prog(p):
+        out = {q: np.full(3, float(10 * p + q)) for q in range(nprocs) if q != p}
+        recv = yield ("alltoallv", out)
+        return {src: arr.copy() for src, arr in recv.items()}
+
+    return prog
+
+
+class TestHardenedDelivery:
+    def test_drops_are_retried_transparently(self):
+        plan = FaultPlan(seed=8, drop=0.5)
+        m = Machine(3, faults=plan, delivery=DeliveryConfig(max_retries=30))
+        results, stats = m.run(_ping(3))
+        clean, _ = Machine(3).run(_ping(3))
+        for p in range(3):
+            assert sorted(results[p]) == sorted(clean[p])
+            for src in clean[p]:
+                assert np.array_equal(results[p][src], clean[p][src])
+        assert stats.total_retries() > 0
+        assert any(e[0] == "drop" for e in stats.fault_events)
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(seed=8, drop=1.0)
+        m = Machine(2, faults=plan, delivery=DeliveryConfig(max_retries=2))
+        with pytest.raises(CommFailureError) as ei:
+            m.run(_ping(2))
+        err = ei.value
+        assert err.attempts == 3  # first try + 2 retries, all dropped
+        assert err.plan == plan
+        assert (err.src, err.dst) in {(0, 1), (1, 0)}
+        assert "undeliverable" in str(err)
+
+    def test_corruption_never_reaches_application(self):
+        plan = FaultPlan(seed=13, corrupt=0.6)
+        m = Machine(3, faults=plan, delivery=DeliveryConfig(max_retries=40))
+        results, stats = m.run(_ping(3))
+        clean, _ = Machine(3).run(_ping(3))
+        for p in range(3):
+            for src in clean[p]:
+                assert np.array_equal(results[p][src], clean[p][src])
+        assert any(e[0] == "corrupt" for e in stats.fault_events)
+
+    def test_duplicates_are_suppressed(self):
+        plan = FaultPlan(seed=21, duplicate=1.0)
+        m = Machine(3, faults=plan)
+        results, stats = m.run(_ping(3))
+        clean, _ = Machine(3).run(_ping(3))
+        for p in range(3):
+            assert sorted(results[p]) == sorted(clean[p])
+        kinds = {e[0] for e in stats.fault_events}
+        assert "duplicate" in kinds and "dup_suppressed" in kinds
+
+    def test_reorder_leaves_keyed_delivery_intact(self):
+        plan = FaultPlan(seed=34, reorder=1.0)
+        m = Machine(4, faults=plan)
+        results, stats = m.run(_ping(4))
+        clean, _ = Machine(4).run(_ping(4))
+        for p in range(4):
+            for src in clean[p]:
+                assert np.array_equal(results[p][src], clean[p][src])
+        assert any(e[0] == "reorder" for e in stats.fault_events)
+
+    def test_faulted_allreduce_and_allgather_match_clean(self):
+        def prog(p):
+            total = yield ("allreduce", float(p + 1))
+            gathered = yield ("allgather", np.array([float(p)]))
+            return total, tuple(float(g[0]) for g in gathered)
+
+        clean, _ = Machine(3).run(prog)
+        plan = FaultPlan(seed=55, drop=0.4, corrupt=0.3)
+        noisy, stats = Machine(
+            3, faults=plan, delivery=DeliveryConfig(max_retries=40)
+        ).run(prog)
+        assert noisy == clean
+        assert stats.total_retries() > 0
+
+    def test_self_messages_bypass_the_adversary(self):
+        def prog(p):
+            recv = yield ("alltoallv", {p: np.arange(4.0)})
+            return recv[p]
+
+        plan = FaultPlan(seed=3, drop=1.0)  # would kill any network message
+        results, stats = Machine(2, faults=plan, delivery=DeliveryConfig(max_retries=0)).run(prog)
+        for p in range(2):
+            assert np.array_equal(results[p], np.arange(4.0))
+        assert stats.total_msgs() == 0
+        assert stats.fault_events == []
+
+    def test_stall_charges_compute_time(self):
+        def prog(p):
+            yield ("barrier", None)
+            return p
+
+        plan = FaultPlan(seed=6, stall=1.0, stall_seconds=0.25)
+        _, stats = Machine(2, faults=plan).run(prog)
+        assert any(e[0] == "stall" for e in stats.fault_events)
+        assert stats.total_compute().max() >= 0.25
+
+    def test_machine_accepts_prebuilt_injector(self):
+        inj = FaultInjector(FaultPlan(seed=77, drop=0.3), DeliveryConfig(max_retries=20))
+        m = Machine(2, faults=inj)
+        assert m.injector is inj
+        r1, s1 = m.run(_ping(2))
+        r2, s2 = m.run(_ping(2))  # reset() makes reruns identical
+        assert s1.fault_events == s2.fault_events
+        for p in range(2):
+            for src in r1[p]:
+                assert np.array_equal(r1[p][src], r2[p][src])
