@@ -65,3 +65,70 @@ def test_table3_shape():
     assert r_naive > 0.8 * r_mixed
     # structured inspectors cost at most a few executor iterations
     assert r_blocksolve < 10 and r_mixed < 10 and r_naive < 10
+
+
+def main(argv=None):
+    """CLI: the communication-optimization measurement → BENCH_comm.json.
+
+    ``--smoke`` shrinks the problem so CI can run it in seconds; the
+    acceptance claims (warm inspector cheaper than cold, coalesced α+β·n
+    time below the per-value baseline, overlap never worse than blocking)
+    are asserted here so a regression fails the job, not just the table.
+    """
+    import argparse
+    import json
+
+    from paperbench import run_comm_optimization
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="small problem, CI-sized")
+    ap.add_argument("--out", default="BENCH_comm.json", help="output JSON path")
+    ap.add_argument("--nprocs", type=int, default=4)
+    ap.add_argument("--niter", type=int, default=10)
+    args = ap.parse_args(argv)
+
+    cells = 6 if args.smoke else None
+    result = run_comm_optimization(
+        nprocs=args.nprocs, niter=args.niter, cells_per_rank=cells
+    )
+
+    reuse = result["schedule_reuse"]
+    assert (
+        reuse["warm_inspector"]["nbytes"] < reuse["cold_inspector"]["nbytes"]
+    ), "schedule reuse did not reduce inspector traffic"
+    co = result["coalescing"]
+    assert (
+        co["coalesced"]["comm_seconds"] < co["per_value"]["comm_seconds"]
+    ), "coalescing did not reduce modeled comm time"
+    ov = result["overlap"]
+    assert (
+        ov["on_parallel_seconds"] <= ov["on_blocking_equivalent_seconds"]
+    ), "overlap made the modeled schedule worse"
+
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    print(
+        "inspector bytes cold={cold} warm={warm}  cache hits={hits} misses={misses}".format(
+            cold=reuse["cold_inspector"]["nbytes"],
+            warm=reuse["warm_inspector"]["nbytes"],
+            hits=reuse["cache"]["hits"],
+            misses=reuse["cache"]["misses"],
+        )
+    )
+    print(
+        "executor comm seconds coalesced={c:.6f} per-value={p:.6f}".format(
+            c=co["coalesced"]["comm_seconds"], p=co["per_value"]["comm_seconds"]
+        )
+    )
+    print(
+        "parallel seconds overlap-on={on:.6f} overlap-off={off:.6f} blocking-equivalent={blk:.6f}".format(
+            on=ov["on_parallel_seconds"],
+            off=ov["off_parallel_seconds"],
+            blk=ov["on_blocking_equivalent_seconds"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -314,6 +314,107 @@ def run_indirect_inspector(
     return stats.window("inspector").parallel_time(COMM)
 
 
+def run_comm_optimization(
+    nprocs: int = 4, niter: int = 10, cells_per_rank: int | None = None
+) -> dict:
+    """The communication-optimization measurement behind BENCH_comm.json.
+
+    Three paired runs of the same mixed-spec CG solve, each isolating one
+    :class:`~repro.runtime.comm.CommOptions` knob:
+
+    * **schedule reuse** — cold vs warm solve sharing a
+      :class:`~repro.runtime.schedule_cache.ScheduleCache`: the warm
+      inspector pays one agreement allreduce instead of the request
+      exchange, amortizing inspection to ~once per structure,
+    * **coalescing** — packed envelopes vs one ``(slot, value)`` envelope
+      per ghost value, compared under the α–β model,
+    * **overlap** — nonblocking exchange + interior compute vs blocking,
+      compared as modeled parallel time.
+
+    Every pair also checks bitwise-identical iterates — the knobs'
+    contract — and the returned dict carries the observability snapshot
+    (``inspector.cache_hits``, ``comm.coalesced_msgs``,
+    ``comm.overlap_ratio``, ...).
+    """
+    from repro.observability import metrics as _metrics
+    from repro.runtime.schedule_cache import ScheduleCache
+
+    coo, bs, dist = _bs_problem(nprocs, cells_per_rank)
+    rng = np.random.default_rng(5)
+    b = rng.standard_normal(coo.shape[0])
+
+    def solve(iters=niter, **kw):
+        return parallel_cg(
+            bs, b, nprocs, variant="mixed-bs", niter=iters, dist=dist, **kw
+        )
+
+    solve(iters=1)  # warm kernels/compile caches, untimed
+
+    def insp(stats):
+        w = stats.window("inspector")
+        return {
+            "msgs": w.total_msgs(),
+            "nbytes": w.total_nbytes(),
+            "seconds": w.parallel_time(COMM),
+        }
+
+    reg = _metrics.enable_metrics()
+    # (a) schedule reuse: cold vs warm against one shared cache
+    cache = ScheduleCache()
+    cold = solve(schedule_cache=cache)
+    warm = solve(schedule_cache=cache)
+    # (b) coalescing: packed envelopes vs per-value Fragmented baseline
+    co = solve(overlap=False, coalesce=True)
+    pv = solve(overlap=False, coalesce=False)
+    # (c) overlap: nonblocking + interior compute vs blocking
+    on = solve(overlap=True)
+    off = solve(overlap=False)
+    snapshot = {
+        k: v
+        for k, v in reg.snapshot().items()
+        if any(t in k for t in ("cache", "coalesced", "pervalue", "overlap"))
+    }
+    _metrics.disable_metrics()
+
+    for other in (warm, co, pv, on, off):
+        if not np.array_equal(cold.x, other.x):
+            raise AssertionError("comm knobs changed the computed iterates")
+
+    ex_co = co.stats.window("executor")
+    ex_pv = pv.stats.window("executor")
+    return {
+        "nprocs": nprocs,
+        "niter": niter,
+        "n": int(coo.shape[0]),
+        "calibration": CALIBRATION,
+        "schedule_reuse": {
+            "cold_inspector": insp(cold.stats),
+            "warm_inspector": insp(warm.stats),
+            "cache": cache.stats.as_dict(),
+        },
+        "coalescing": {
+            "coalesced": {
+                "executor_msgs": ex_co.total_msgs(),
+                "executor_nbytes": ex_co.total_nbytes(),
+                "comm_seconds": ex_co.comm_time(COMM),
+            },
+            "per_value": {
+                "executor_msgs": ex_pv.total_msgs(),
+                "executor_nbytes": ex_pv.total_nbytes(),
+                "comm_seconds": ex_pv.comm_time(COMM),
+            },
+        },
+        "overlap": {
+            "on_parallel_seconds": on.stats.parallel_time(COMM),
+            "off_parallel_seconds": off.stats.parallel_time(COMM),
+            "on_blocking_equivalent_seconds": sum(
+                p.step_time(COMM) for p in on.stats.phases
+            ),
+        },
+        "metrics": snapshot,
+    }
+
+
 def run_table2(P_list=(2, 4, 8), niter: int = 10, cells_per_rank: int | None = None):
     """Table 2: executor seconds for the trio at each P."""
     rows = []

@@ -59,6 +59,31 @@ class Distribution:
         """Inverse: global index of local offset(s) l on processor p."""
         return self.owned_by(p)[np.asarray(l)]
 
+    def fingerprint(self) -> int:
+        """CRC32 of the materialized IND relation: two distributions map
+        indistinguishably iff their fingerprints match.
+
+        This is the distribution coordinate of a
+        :class:`~repro.runtime.schedule_cache.ScheduleCache` key: a gather
+        schedule built against one distribution is reusable under any
+        other with the same fingerprint.  Computed once (O(nglobal)) and
+        cached on the instance — distributions are immutable by contract.
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            import zlib
+
+            i = np.arange(self.nglobal)
+            crc = zlib.crc32(
+                np.asarray([self.nglobal, self.nprocs], dtype=np.int64).tobytes()
+            )
+            crc = zlib.crc32(np.asarray(self.owner(i), dtype=np.int64).tobytes(), crc)
+            crc = zlib.crc32(
+                np.asarray(self.local_index(i), dtype=np.int64).tobytes(), crc
+            )
+            fp = self._fingerprint = crc
+        return fp
+
     # ------------------------------------------------------------------
     def as_relation(self) -> Relation:
         """Materialize IND(i, p, ip) — the fragmentation-equation view."""

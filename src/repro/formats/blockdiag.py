@@ -156,6 +156,18 @@ class BlockDiagonalMatrix(Format):
         """
         blockptr = np.asarray(blockptr, dtype=np.int64)
         n = coo.shape[0]
+        if coo.shape[0] != coo.shape[1]:
+            raise FormatError(
+                f"BlockDiag requires a square matrix, got {coo.shape[0]}x"
+                f"{coo.shape[1]}; diagonal blocks cover rows and columns "
+                "with the same index range"
+            )
+        if blockptr.ndim != 1 or len(blockptr) < 1:
+            raise FormatError("blockptr must be a 1-D partition of [0, n)")
+        if blockptr[0] != 0 or blockptr[-1] != n or np.any(np.diff(blockptr) <= 0):
+            raise FormatError(
+                "blockptr must start at 0, end at n, and be strictly increasing"
+            )
         dense_blocks = []
         voff = [0]
         # assign each entry to a block by its row, keep it if the column
@@ -163,6 +175,7 @@ class BlockDiagonalMatrix(Format):
         block_of = np.zeros(n, dtype=np.int64)
         for b in range(len(blockptr) - 1):
             block_of[blockptr[b] : blockptr[b + 1]] = b
+        coo = coo.canonicalized()  # duplicates must SUM, not last-write-win
         keep = block_of[coo.row] == block_of[coo.col]
         r, c, v = coo.row[keep], coo.col[keep], coo.vals[keep]
         order = np.argsort(block_of[r], kind="stable")
@@ -180,8 +193,14 @@ class BlockDiagonalMatrix(Format):
 
     @classmethod
     def from_coo(cls, coo: COOMatrix) -> "BlockDiagonalMatrix":
-        """Treat the whole matrix as one dense block (degenerate case)."""
-        return cls.from_coo_blocks(coo, np.asarray([0, coo.shape[0]]))
+        """Treat the whole matrix as one dense block (degenerate case).
+
+        An empty matrix gets the empty partition (zero blocks) — the
+        one-block partition ``[0, 0]`` would be a zero-width block.
+        """
+        n = coo.shape[0]
+        ptr = np.asarray([0], dtype=np.int64) if n == 0 else np.asarray([0, n])
+        return cls.from_coo_blocks(coo, ptr)
 
     def to_coo(self) -> COOMatrix:
         r_parts, c_parts, v_parts = [], [], []

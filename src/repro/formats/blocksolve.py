@@ -126,7 +126,12 @@ class BlockSolveMatrix(Format):
         )
         dense_blocks = BlockDiagonalMatrix.from_coo_blocks(diag_part, clique_ptr)
         offdiag = InodeMatrix.from_coo(off_part)
-        return cls(perm, dense_blocks, offdiag, colors[np.asarray(order)], clique_ptr)
+        # dtype pinned: ``order`` may be empty, and an empty default array
+        # is float64 — not a valid index
+        return cls(
+            perm, dense_blocks, offdiag,
+            colors[np.asarray(order, dtype=np.int64)], clique_ptr,
+        )
 
     # ------------------------------------------------------------------
     @property

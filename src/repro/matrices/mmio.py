@@ -37,13 +37,25 @@ def read_matrix_market(path_or_file) -> COOMatrix:
         raise FormatError(f"unsupported field type {field!r}")
     if symmetry not in ("general", "symmetric", "skew-symmetric"):
         raise FormatError(f"unsupported symmetry {symmetry!r}")
+    if field == "pattern" and symmetry == "skew-symmetric":
+        # the MatrixMarket spec rules this combination out: a pattern has
+        # no values to negate, and a skew-symmetric matrix needs signed
+        # entries (and a zero diagonal)
+        raise FormatError(
+            "contradictory header: 'pattern' field with 'skew-symmetric' "
+            "symmetry (patterns carry no signs)"
+        )
     line = f.readline()
     while line.startswith("%"):
         line = f.readline()
-    nrows, ncols, nnz = map(int, line.split())
+    try:
+        nrows, ncols, nnz = map(int, line.split())
+    except ValueError:
+        raise FormatError(f"bad MatrixMarket size line: {line.strip()!r}") from None
     rows = np.empty(nnz, dtype=np.int64)
     cols = np.empty(nnz, dtype=np.int64)
     vals = np.empty(nnz, dtype=np.float64)
+    want = 2 if field == "pattern" else 3
     k = 0
     for line in f:
         line = line.strip()
@@ -52,9 +64,17 @@ def read_matrix_market(path_or_file) -> COOMatrix:
         parts = line.split()
         if k >= nnz:
             raise FormatError("more entries than declared")
-        rows[k] = int(parts[0]) - 1
-        cols[k] = int(parts[1]) - 1
-        vals[k] = float(parts[2]) if field != "pattern" else 1.0
+        if len(parts) < want:
+            raise FormatError(
+                f"entry line {k + 1} has {len(parts)} fields, "
+                f"{field!r} needs {want}: {line!r}"
+            )
+        try:
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2]) if field != "pattern" else 1.0
+        except ValueError:
+            raise FormatError(f"bad entry line {k + 1}: {line!r}") from None
         k += 1
     if k != nnz:
         raise FormatError(f"declared {nnz} entries, found {k}")
@@ -69,24 +89,49 @@ def read_matrix_market(path_or_file) -> COOMatrix:
     return COOMatrix.from_entries((nrows, ncols), rows, cols, vals)
 
 
-def write_matrix_market(matrix: COOMatrix, path_or_file, comment: str = "") -> None:
-    """Write canonical COO as a ``coordinate real general`` file."""
+def write_matrix_market(
+    matrix: COOMatrix, path_or_file, comment: str = "", field: str = "real"
+) -> None:
+    """Write canonical COO as a ``coordinate {field} general`` file.
+
+    ``field`` preserves the source flavor across a round-trip: ``"real"``
+    (the default), ``"integer"`` (every stored value must be integral —
+    :class:`~repro.errors.FormatError` otherwise, rather than silently
+    promoting the file to real), or ``"pattern"`` (positions only; the
+    values are dropped by construction, which is lossy unless they are
+    all 1.0 — the value a pattern read materializes).
+    """
     if isinstance(path_or_file, (str, Path)):
         with open(path_or_file, "w") as f:
-            write_matrix_market(matrix, f, comment)
+            write_matrix_market(matrix, f, comment, field)
             return
+    if field not in ("real", "integer", "pattern"):
+        raise FormatError(f"unsupported field type {field!r}")
     f = path_or_file
     m = matrix.canonicalized()
-    f.write("%%MatrixMarket matrix coordinate real general\n")
+    if field == "integer" and not np.all(m.vals == np.trunc(m.vals)):
+        bad = m.vals[m.vals != np.trunc(m.vals)][0]
+        raise FormatError(
+            f"field='integer' but stored values are not integral (e.g. {bad}); "
+            "write field='real' instead"
+        )
+    f.write(f"%%MatrixMarket matrix coordinate {field} general\n")
     for line in comment.splitlines():
         f.write(f"% {line}\n")
     f.write(f"{m.shape[0]} {m.shape[1]} {m.nnz}\n")
-    for i, j, v in zip(m.row.tolist(), m.col.tolist(), m.vals.tolist()):
-        f.write(f"{i + 1} {j + 1} {v!r}\n")
+    if field == "pattern":
+        for i, j in zip(m.row.tolist(), m.col.tolist()):
+            f.write(f"{i + 1} {j + 1}\n")
+    elif field == "integer":
+        for i, j, v in zip(m.row.tolist(), m.col.tolist(), m.vals.tolist()):
+            f.write(f"{i + 1} {j + 1} {int(v)}\n")
+    else:
+        for i, j, v in zip(m.row.tolist(), m.col.tolist(), m.vals.tolist()):
+            f.write(f"{i + 1} {j + 1} {v!r}\n")
 
 
-def dumps(matrix: COOMatrix, comment: str = "") -> str:
+def dumps(matrix: COOMatrix, comment: str = "", field: str = "real") -> str:
     """The MatrixMarket text of a matrix as a string."""
     buf = io.StringIO()
-    write_matrix_market(matrix, buf, comment)
+    write_matrix_market(matrix, buf, comment, field)
     return buf.getvalue()

@@ -31,8 +31,15 @@ from repro.formats.dense import DenseVector
 from repro.formats.inode import InodeMatrix
 from repro.formats.translated import TranslatedVector
 from repro.kernels.spmv import SPMV_SRC
+from repro.runtime.comm import (
+    CommOptions,
+    exchange_finish,
+    exchange_opt,
+    exchange_start,
+)
 from repro.runtime.faults import ensure_valid_schedule
-from repro.runtime.inspector import build_schedule_replicated, exchange
+from repro.runtime.inspector import build_schedule_replicated, exchange  # noqa: F401
+from repro.runtime.schedule_cache import ScheduleCache, cached_schedule
 
 __all__ = ["BSFragments", "BlockSolveSpMV", "BernoulliMixedBS", "BernoulliGlobalBS"]
 
@@ -53,10 +60,17 @@ class BSFragments:
     * ``off_global`` — all my off-diagonal i-nodes, columns global.
     """
 
-    def __init__(self, rank: int, dist: MultiBlockDistribution, bs: BlockSolveMatrix):
+    def __init__(
+        self,
+        rank: int,
+        dist: MultiBlockDistribution,
+        bs: BlockSolveMatrix,
+        opts: CommOptions | None = None,
+    ):
         self.rank = rank
         self.dist = dist
         self.bs = bs
+        self.opts = opts or CommOptions()
         n = bs.shape[0]
         mine_rows = dist.owned_by(rank)
         self.nlocal = len(mine_rows)
@@ -128,6 +142,21 @@ class BSFragments:
             ghost_map[used] = slots
         return ino.remap_columns(ghost_map, max(1, sched.nghost))
 
+    def _inspect(self, used):
+        """Inspector entry shared by the trio: build (or reuse from the
+        schedule cache) the replicated-IND gather schedule for ``used``."""
+        cache = self.opts.resolved_cache()
+        key = ScheduleCache.key_replicated(self.rank, self.dist, used) if cache is not None else None
+        sched = yield from cached_schedule(
+            cache,
+            key,
+            self.dist.nprocs,
+            lambda: build_schedule_replicated(self.rank, self.dist, used),
+        )
+        self._sched_cache = cache
+        self._sched_cache_key = key
+        return sched
+
     def _remember_schedule(self, used) -> None:
         """Store what the fault-recovery path needs: the Used set (to
         re-run the inspector) and the schedule fingerprint (to detect
@@ -151,7 +180,7 @@ class BlockSolveSpMV(BSFragments):
 
     def setup(self):
         used = self.A_SNL_global.column_support()
-        self.sched = yield from build_schedule_replicated(self.rank, self.dist, used)
+        self.sched = yield from self._inspect(used)
         self.A_SNL = self._ghost_remap(self.A_SNL_global, self.sched)
         self._remember_schedule(used)
         return None
@@ -159,10 +188,23 @@ class BlockSolveSpMV(BSFragments):
     def step(self, xlocal: np.ndarray):
         yield from ensure_valid_schedule(self)
         y = np.zeros(self.nlocal)
-        if self.A_D is not None:
-            self.A_D.matvec(xlocal, out=y)
-        self.A_SL.matvec(xlocal, out=y)
-        ghost = yield from exchange(self.sched, xlocal)
+        if self.opts.overlap:
+            # the library's own pipeline: exchange in flight while the
+            # clique blocks and local i-nodes multiply
+            pending = yield from exchange_start(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
+            if self.A_D is not None:
+                self.A_D.matvec(xlocal, out=y)
+            self.A_SL.matvec(xlocal, out=y)
+            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+        else:
+            if self.A_D is not None:
+                self.A_D.matvec(xlocal, out=y)
+            self.A_SL.matvec(xlocal, out=y)
+            ghost = yield from exchange_opt(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
         self.A_SNL.matvec(ghost, out=y)
         return y
 
@@ -177,7 +219,7 @@ class BernoulliMixedBS(BSFragments):
 
     def setup(self):
         used = self.A_SNL_global.column_support()
-        self.sched = yield from build_schedule_replicated(self.rank, self.dist, used)
+        self.sched = yield from self._inspect(used)
         self.A_SNL = self._ghost_remap(self.A_SNL_global, self.sched)
         self._xbuf = DenseVector.zeros(max(1, self.nlocal))
         self._gbuf = DenseVector.zeros(max(1, self.sched.nghost))
@@ -199,10 +241,24 @@ class BernoulliMixedBS(BSFragments):
         self._ybuf.vals[:] = 0.0
         if self.nlocal:
             self._xbuf.vals[:] = xlocal
-        if self._runD is not None:
-            self._runD()
-        self._runSL()
-        ghost = yield from exchange(self.sched, xlocal)
+        if self.opts.overlap:
+            # Eq. 24's declared split makes the pipeline free: the two
+            # local statements need no ghost values, so they run inside
+            # the exchange window
+            pending = yield from exchange_start(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
+            if self._runD is not None:
+                self._runD()
+            self._runSL()
+            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+        else:
+            if self._runD is not None:
+                self._runD()
+            self._runSL()
+            ghost = yield from exchange_opt(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
         if self.sched.nghost:
             self._gbuf.vals[:] = ghost
         self._runSNL()
@@ -221,7 +277,7 @@ class BernoulliGlobalBS(BSFragments):
         used = np.union1d(
             self.A_D_ino.column_support(), self.off_global.column_support()
         )
-        self.sched = yield from build_schedule_replicated(self.rank, self.dist, used)
+        self.sched = yield from self._inspect(used)
         # the problem-size translation structure the naive spec forces:
         # a full global-to-ghost map, applied at *runtime* on every access
         xmap = np.zeros(n, dtype=np.int64)
@@ -240,10 +296,23 @@ class BernoulliGlobalBS(BSFragments):
 
     def step(self, xlocal: np.ndarray):
         yield from ensure_valid_schedule(self)
-        ghost = yield from exchange(self.sched, xlocal)
+        if self.opts.overlap:
+            # the global spec leaves NOTHING to hide behind the wire:
+            # both products read x through the ghost buffer, so the
+            # window closes immediately — the cost of Eq. 23's missing
+            # locality declaration, visible in ``comm.overlap_ratio``
+            pending = yield from exchange_start(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
+            self._ybuf.vals[:] = 0.0
+            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+        else:
+            ghost = yield from exchange_opt(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
+            self._ybuf.vals[:] = 0.0
         if self.sched.nghost:
             self._gbuf[: self.sched.nghost] = ghost
-        self._ybuf.vals[:] = 0.0
         self._runD()
         self._runOff()
         return self._ybuf.vals.copy()

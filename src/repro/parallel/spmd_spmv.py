@@ -43,12 +43,19 @@ from repro.formats.translated import TranslatedVector
 from repro.kernels.spmv import SPMV_SRC
 from repro.parallel.fragment import RowFragment
 from repro.parallel.spmd_blocksolve import BlockSolveSpMV  # noqa: F401 (re-export)
+from repro.runtime.comm import (
+    CommOptions,
+    exchange_finish,
+    exchange_opt,
+    exchange_start,
+)
 from repro.runtime.faults import ensure_valid_schedule
 from repro.runtime.inspector import (
     build_schedule_replicated,
     build_schedule_translated,
-    exchange,
+    exchange,  # noqa: F401 (re-export; executors now go through exchange_opt)
 )
+from repro.runtime.schedule_cache import ScheduleCache, cached_schedule
 
 __all__ = [
     "GlobalSpMV",
@@ -77,16 +84,32 @@ class GlobalSpMV:
     slowdown and ~10× inspector cost.
     """
 
-    def __init__(self, rank: int, dist: Distribution, frag: RowFragment):
+    def __init__(
+        self,
+        rank: int,
+        dist: Distribution,
+        frag: RowFragment,
+        opts: CommOptions | None = None,
+    ):
         self.rank = rank
         self.dist = dist
         self.frag = frag
         self.nlocal = frag.nlocal
+        self.opts = opts or CommOptions()
 
     def setup(self):
         nglobal = self.frag.matrix.shape[1]
         used = self.frag.used_columns()  # ∝ local problem size
-        self.sched = yield from build_schedule_replicated(self.rank, self.dist, used)
+        cache = self.opts.resolved_cache()
+        key = ScheduleCache.key_replicated(self.rank, self.dist, used) if cache is not None else None
+        self.sched = yield from cached_schedule(
+            cache,
+            key,
+            self.dist.nprocs,
+            lambda: build_schedule_replicated(self.rank, self.dist, used),
+        )
+        self._sched_cache = cache
+        self._sched_cache_key = key
         # the fragment keeps GLOBAL columns; x is accessed through a
         # problem-size global-to-ghost map at runtime — the redundant
         # indirection of the naive specification
@@ -120,10 +143,24 @@ class GlobalSpMV:
 
     def step(self, xlocal: np.ndarray):
         yield from ensure_valid_schedule(self)
-        ghost = yield from exchange(self.sched, xlocal)
+        if self.opts.overlap:
+            # the naive spec has NO interior rows — every reference goes
+            # through the ghost indirection — so the only work that can
+            # hide behind the wire is the output clear.  The window still
+            # opens/closes so the collective pattern matches the mixed
+            # executors rank-for-rank.
+            pending = yield from exchange_start(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
+            self._ybuf.vals[:] = 0.0
+            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+        else:
+            ghost = yield from exchange_opt(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
+            self._ybuf.vals[:] = 0.0
         if self.sched.nghost:
             self._gbuf[: self.sched.nghost] = ghost
-        self._ybuf.vals[:] = 0.0
         self._run()
         return self._ybuf.vals.copy()
 
@@ -136,11 +173,18 @@ class MixedSpMV:
     the inspector, whose Used set is just the boundary.
     """
 
-    def __init__(self, rank: int, dist: Distribution, frag: RowFragment):
+    def __init__(
+        self,
+        rank: int,
+        dist: Distribution,
+        frag: RowFragment,
+        opts: CommOptions | None = None,
+    ):
         self.rank = rank
         self.dist = dist
         self.frag = frag
         self.nlocal = frag.nlocal
+        self.opts = opts or CommOptions()
 
     def setup(self):
         m = self.frag.matrix
@@ -154,7 +198,16 @@ class MixedSpMV:
             m.vals[mine],
         )
         used = np.unique(m.col[~mine])  # boundary only
-        self.sched = yield from build_schedule_replicated(self.rank, self.dist, used)
+        cache = self.opts.resolved_cache()
+        key = ScheduleCache.key_replicated(self.rank, self.dist, used) if cache is not None else None
+        self.sched = yield from cached_schedule(
+            cache,
+            key,
+            self.dist.nprocs,
+            lambda: build_schedule_replicated(self.rank, self.dist, used),
+        )
+        self._sched_cache = cache
+        self._sched_cache_key = key
         ghost_cols = self.sched.ghost_slot_of(m.col[~mine])
         self.A_ghost = _crs_from_parts(
             self.nlocal,
@@ -184,8 +237,20 @@ class MixedSpMV:
         self._ybuf.vals[:] = 0.0
         if self.nlocal:
             self._xbuf.vals[:] = xlocal
-        self._run_local()
-        ghost = yield from exchange(self.sched, xlocal)
+        if self.opts.overlap:
+            # BlockSolve95-style pipeline: post the boundary exchange,
+            # multiply the interior (A_local needs no ghost values) while
+            # packets fly, then close the window and finish the boundary.
+            pending = yield from exchange_start(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
+            self._run_local()
+            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+        else:
+            self._run_local()
+            ghost = yield from exchange_opt(
+                self.sched, xlocal, coalesce=self.opts.coalesce
+            )
         if self.sched.nghost:
             self._gbuf.vals[:] = ghost
         self._run_ghost()
@@ -206,15 +271,31 @@ class IndirectInspector:
     column.
     """
 
-    def __init__(self, rank: int, nglobal: int, nprocs: int, owned_global, used_cols):
+    def __init__(
+        self,
+        rank: int,
+        nglobal: int,
+        nprocs: int,
+        owned_global,
+        used_cols,
+        opts: CommOptions | None = None,
+    ):
         self.rank = rank
         self.nglobal = int(nglobal)
         self.nprocs = int(nprocs)
         self.owned_global = np.asarray(owned_global, dtype=np.int64)
         self.used_cols = np.asarray(used_cols, dtype=np.int64)
+        self.opts = opts or CommOptions()
 
     @classmethod
-    def from_fragment(cls, rank: int, dist: Distribution, frag: RowFragment, mixed: bool):
+    def from_fragment(
+        cls,
+        rank: int,
+        dist: Distribution,
+        frag: RowFragment,
+        mixed: bool,
+        opts: CommOptions | None = None,
+    ):
         """Build from a row fragment: naive Used = all referenced columns;
         mixed Used = columns outside my own index list (local knowledge)."""
         owned = frag.rows_global
@@ -225,15 +306,32 @@ class IndirectInspector:
             used = np.unique(cols[~mine[cols]])
         else:
             used = np.unique(cols)
-        return cls(rank, dist.nglobal, dist.nprocs, owned, used)
+        return cls(rank, dist.nglobal, dist.nprocs, owned, used, opts=opts)
 
-    def setup(self):
+    def _build(self):
         table = yield from build_translation_table(
             self.rank, self.nglobal, self.nprocs, self.owned_global
         )
-        self.sched = yield from build_schedule_translated(
-            self.rank, table, self.used_cols
+        sched = yield from build_schedule_translated(self.rank, table, self.used_cols)
+        return sched
+
+    def setup(self):
+        # A cache hit skips the WHOLE Chaos inspection — translation-table
+        # build (volume ∝ problem size) AND the dereference rounds — which
+        # is exactly the cost Table 3 shows dominating the indirect paths.
+        cache = self.opts.resolved_cache()
+        key = (
+            ScheduleCache.key_translated(
+                self.rank, self.nglobal, self.nprocs, self.owned_global, self.used_cols
+            )
+            if cache is not None
+            else None
         )
+        self.sched = yield from cached_schedule(
+            cache, key, self.nprocs, self._build
+        )
+        self._sched_cache = cache
+        self._sched_cache_key = key
         return None
 
     def step(self, xlocal):  # pragma: no cover - not used in the evaluation
@@ -244,22 +342,22 @@ class IndirectInspector:
 SPMV_VARIANTS = {
     "mixed": MixedSpMV,
     "global": GlobalSpMV,
-    "indirect-mixed": lambda rank, dist, frag: IndirectInspector.from_fragment(
-        rank, dist, frag, True
+    "indirect-mixed": lambda rank, dist, frag, opts=None: IndirectInspector.from_fragment(
+        rank, dist, frag, True, opts=opts
     ),
-    "indirect": lambda rank, dist, frag: IndirectInspector.from_fragment(
-        rank, dist, frag, False
+    "indirect": lambda rank, dist, frag, opts=None: IndirectInspector.from_fragment(
+        rank, dist, frag, False, opts=opts
     ),
 }
 
 
-def make_spmv_setup(variant: str, rank: int, dist, frag_or_bs):
+def make_spmv_setup(variant: str, rank: int, dist, frag_or_bs, opts=None):
     """Construct the per-rank strategy object for ``variant``."""
     try:
         cls = SPMV_VARIANTS[variant]
     except KeyError:
         raise KeyError(f"unknown variant {variant!r}; known: {sorted(SPMV_VARIANTS)}") from None
-    return cls(rank, dist, frag_or_bs)
+    return cls(rank, dist, frag_or_bs, opts=opts)
 
 
 def spmv_executor_step(strategy, xlocal):

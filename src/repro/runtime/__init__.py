@@ -24,19 +24,32 @@ from repro.runtime.faults import (
     FaultInjector,
     FaultPlan,
 )
-from repro.runtime.machine import Machine, CommModel, RunStats, PhaseStats
+from repro.runtime.machine import (
+    Machine,
+    CommModel,
+    RunStats,
+    PhaseStats,
+    Fragmented,
+)
 from repro.runtime.inspector import (
     GatherSchedule,
     build_schedule_replicated,
     build_schedule_translated,
     exchange,
 )
+from repro.runtime.schedule_cache import (
+    DEFAULT_SCHEDULE_CACHE,
+    ScheduleCache,
+    schedule_cache_stats,
+)
+from repro.runtime.comm import CommOptions
 
 __all__ = [
     "Machine",
     "CommModel",
     "RunStats",
     "PhaseStats",
+    "Fragmented",
     "FaultPlan",
     "FaultInjector",
     "DeliveryConfig",
@@ -44,4 +57,8 @@ __all__ = [
     "build_schedule_replicated",
     "build_schedule_translated",
     "exchange",
+    "ScheduleCache",
+    "DEFAULT_SCHEDULE_CACHE",
+    "schedule_cache_stats",
+    "CommOptions",
 ]

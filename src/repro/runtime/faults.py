@@ -514,6 +514,13 @@ def ensure_valid_schedule(strategy):
         return False
     if not ok:
         inj.record("schedule_invalid", step=step, src=rank, dst=rank)
+    # a corrupt schedule disqualifies its cache entry: drop it BEFORE
+    # re-inspecting so the rebuild can never be served from the cache and
+    # later setups can never reuse an entry whose integrity was questioned
+    cache = getattr(strategy, "_sched_cache", None)
+    cache_key = getattr(strategy, "_sched_cache_key", None)
+    if cache is not None and cache_key is not None:
+        cache.invalidate(cache_key)
     with _trace.span("inspector.rebuild", rank=rank, step=step):
         _metrics.record("runtime.reinspections", 1)
         new_sched = yield from strategy.rebuild_schedule()
@@ -522,5 +529,8 @@ def ensure_valid_schedule(strategy):
             f"rank {rank}: re-inspection did not restore the communication "
             f"schedule (step {step}); refusing to run on corrupt RecvInd"
         )
+    if cache is not None and cache_key is not None:
+        # re-install the verified rebuild (fingerprint-checked above)
+        cache.put(cache_key, new_sched)
     strategy.sched = new_sched
     return True

@@ -31,7 +31,6 @@ import numpy as np
 
 from repro.distribution.base import Distribution
 from repro.distribution.translation import DistributedTranslationTable, dereference
-from repro.errors import InspectorError
 from repro.observability import metrics as _metrics
 
 __all__ = [
@@ -164,28 +163,15 @@ def build_schedule_translated(
     return sched
 
 
-def exchange(sched: GatherSchedule, xlocal: np.ndarray):
+def exchange(sched: GatherSchedule, xlocal: np.ndarray, coalesce: bool = True):
     """Executor communication: gather ghost values per the schedule.
 
     Returns the ghost array (aligned with ``sched.ghost_global``).
-    ``yield from`` this once per executor iteration.
+    ``yield from`` this once per executor iteration.  ``coalesce`` and the
+    overlapped split variant live in :mod:`repro.runtime.comm`; this
+    blocking form delegates there.
     """
-    xlocal = np.asarray(xlocal)
-    send = {q: xlocal[loc] for q, loc in sched.send_locals.items()}
-    if _metrics.metrics_enabled():
-        _metrics.record("executor.exchanges", 1)
-        _metrics.record(
-            "executor.gathered_values", sum(len(v) for v in send.values())
-        )
-    recv = yield ("alltoallv", send)
-    ghost = np.zeros(sched.nghost)
-    if len(sched.self_slots):
-        ghost[sched.self_slots] = xlocal[sched.self_locals]
-    for src, vals in recv.items():
-        slots = sched.recv_slots.get(src)
-        if slots is None or len(slots) != len(vals):
-            raise InspectorError(
-                f"rank {sched.rank}: packet from {src} does not match schedule"
-            )
-        ghost[slots] = vals
+    from repro.runtime.comm import exchange_opt
+
+    ghost = yield from exchange_opt(sched, xlocal, coalesce=coalesce)
     return ghost

@@ -4,10 +4,19 @@ A *rank program* is a Python generator.  It computes locally, and whenever
 it needs communication it yields a collective request::
 
     recv = yield ("alltoallv", {dest: payload, ...})   # -> {src: payload}
+    recv = yield ("alltoallv_async", {dest: payload})   # nonblocking variant
+    _ = yield ("commwait", None)                        # close async window
     total = yield ("allreduce", local_value)            # -> sum over ranks
     vals = yield ("allgather", local_value)             # -> [v0, v1, ...]
     _ = yield ("barrier", None)
     _ = yield ("phase", "executor")                     # named timing mark
+
+An ``alltoallv_async`` routes identically to ``alltoallv`` (the simulation
+delivers immediately) but models a *nonblocking* post: its α–β time
+overlaps with the compute done before the matching ``commwait`` — see
+:meth:`RunStats.parallel_time`.  A payload wrapped in :class:`Fragmented`
+ships one envelope per value (the uncoalesced baseline) and is reassembled
+into a packed array at the receiver.
 
 The machine advances all ranks to their next yield, checks they agree on
 the collective (SPMD discipline), routes the data, and resumes them.  Per
@@ -32,7 +41,43 @@ from repro.observability import metrics as _metrics
 from repro.observability import trace as _trace
 from repro.runtime import faults as _faults
 
-__all__ = ["CommModel", "PhaseStats", "RunStats", "Machine", "payload_nbytes"]
+__all__ = [
+    "CommModel",
+    "PhaseStats",
+    "RunStats",
+    "Machine",
+    "payload_nbytes",
+    "Fragmented",
+    "assemble_fragments",
+]
+
+
+class Fragmented(list):
+    """A per-value (uncoalesced) point-to-point payload.
+
+    Each element is a ``(slot, value)`` pair and ships as its *own*
+    envelope: its own message count, its own α charge, its own checksum
+    and its own retry unit under fault injection.  This is the baseline
+    the coalesced path (one contiguous packed array per destination, whose
+    packet order the gather schedule fixes so no slot indices travel at
+    all) is measured against.  The machine reassembles arrivals into the
+    packed ``ndarray`` the receiver would have gotten from a coalesced
+    send — the two modes are bitwise interchangeable.
+    """
+
+    @classmethod
+    def pack(cls, values) -> "Fragmented":
+        return cls((int(i), float(v)) for i, v in enumerate(np.asarray(values)))
+
+
+def assemble_fragments(parts) -> np.ndarray:
+    """Packed array from ``(slot, value)`` parts, in slot order (arrival
+    order independent — reordered or duplicated-then-suppressed deliveries
+    assemble identically)."""
+    out = np.empty(len(parts), dtype=np.float64)
+    for i, v in parts:
+        out[i] = v
+    return out
 
 
 def payload_nbytes(obj) -> int:
@@ -114,6 +159,14 @@ class PhaseStats:
     #: retransmissions per rank under fault injection (None on the happy
     #: path — the field exists only when a fault injector was installed)
     retries: np.ndarray | None = None
+    #: True for a nonblocking exchange (``alltoallv_async``): its modeled
+    #: communication time overlaps with the compute of the following
+    #: superstep (the interior work done before the matching ``commwait``)
+    overlapped: bool = False
+
+    def comm_time(self, model: CommModel) -> float:
+        """Modeled α–β communication seconds of the slowest rank."""
+        return float(np.max(self.msgs * model.latency + self.nbytes * model.inv_bandwidth))
 
     def step_time(self, model: CommModel) -> float:
         """Estimated parallel duration of this superstep: slowest rank's
@@ -131,6 +184,9 @@ class RunStats:
     #: canonical fault-event log of the run (empty without fault injection):
     #: ``(kind, superstep, src, dst, seq, attempt)`` tuples in injection order
     fault_events: list = field(default_factory=list)
+    #: the cost model of the machine that produced this run (the default
+    #: for :meth:`parallel_time` / :meth:`comm_time` when none is passed)
+    model: "CommModel | None" = None
 
     def total_compute(self) -> np.ndarray:
         """Per-rank compute seconds over the whole run."""
@@ -154,9 +210,35 @@ class RunStats:
         return int(sum(p.nbytes.sum() for p in self.phases))
 
     def parallel_time(self, model: CommModel | None = None) -> float:
-        """Estimated wall time: Σ over supersteps of the slowest rank."""
-        model = model or CommModel()
-        return sum(p.step_time(model) for p in self.phases)
+        """Estimated wall time: Σ over supersteps of the slowest rank.
+
+        A superstep marked ``overlapped`` (nonblocking ghost exchange)
+        contributes only its compute; its modeled communication time is
+        carried forward and finishes *under* the next superstep's compute
+        — ``max(comm in flight, interior compute)`` instead of their sum,
+        the BlockSolve95 overlap model.  Runs without overlapped phases
+        fold exactly as before.
+        """
+        model = model or self.model or CommModel()
+        total = 0.0
+        in_flight = 0.0
+        for p in self.phases:
+            if p.overlapped:
+                total += float(np.max(p.compute))
+                in_flight = max(in_flight, p.comm_time(model))
+                continue
+            t = p.step_time(model)
+            if in_flight > 0.0:
+                t = max(t, in_flight)
+                in_flight = 0.0
+            total += t
+        return total + in_flight
+
+    def comm_time(self, model: CommModel | None = None) -> float:
+        """Modeled α–β communication seconds over the whole run (slowest
+        rank per superstep, no overlap credit — the raw wire cost)."""
+        model = model or self.model or CommModel()
+        return sum(p.comm_time(model) for p in self.phases)
 
     def comm_matrix(self) -> np.ndarray:
         """Rank×rank byte matrix over the whole run: entry [p, q] is what
@@ -183,7 +265,7 @@ class RunStats:
         with that label exists — an empty result here almost always means
         a typo in the label, not a phase that did no work.
         """
-        out = RunStats(self.nprocs)
+        out = RunStats(self.nprocs, model=self.model)
         active = False
         found = False
         for p in self.phases:
@@ -220,10 +302,13 @@ class Machine:
     original zero-overhead delivery path runs, byte-for-byte unchanged.
     """
 
-    def __init__(self, nprocs: int, faults=None, delivery=None):
+    def __init__(self, nprocs: int, faults=None, delivery=None, model=None):
         if nprocs < 1:
             raise RuntimeMachineError("need at least one processor")
         self.nprocs = int(nprocs)
+        #: α–β cost model used for modeled-time metrics during the run and
+        #: as the default model of the produced RunStats
+        self.model = model or CommModel()
         if faults is None:
             self.injector = None
         elif isinstance(faults, _faults.FaultInjector):
@@ -311,6 +396,7 @@ class Machine:
         inj = self.injector
         arrivals: list[list] = [[] for _ in range(P)]
         selfmsg: list[dict] = [dict() for _ in range(P)]
+        frag_pairs: set[tuple[int, int]] = set()
         for p in alive:
             send = requests[p][1] or {}
             for q, payload in send.items():
@@ -318,7 +404,20 @@ class Machine:
                 if not (0 <= q < P):
                     raise RuntimeMachineError(f"bad destination {q}")
                 if q == p:
-                    selfmsg[p][p] = payload
+                    selfmsg[p][p] = (
+                        assemble_fragments(payload)
+                        if isinstance(payload, Fragmented)
+                        else payload
+                    )
+                    continue
+                if isinstance(payload, Fragmented):
+                    # per-value mode: every (slot, value) pair is its own
+                    # envelope — own seq, own checksum, own retry budget
+                    frag_pairs.add((p, q))
+                    for part in payload:
+                        arrivals[q].extend(
+                            self._deliver(p, q, part, step, msgs, nbytes, bmat, retries, extra)
+                        )
                     continue
                 arrivals[q].extend(
                     self._deliver(p, q, payload, step, msgs, nbytes, bmat, retries, extra)
@@ -331,12 +430,19 @@ class Machine:
                 inj.record("reorder", step, src=-1, dst=q)
             recv = dict(selfmsg[q])
             seen: set[tuple[int, int]] = set()
+            frag_parts: dict[int, list] = {}
             for src, seq, payload in envs:
                 if (src, seq) in seen:
                     inj.record("dup_suppressed", step, src, q, seq)
                     continue
                 seen.add((src, seq))
-                recv[src] = payload
+                if (src, q) in frag_pairs:
+                    frag_parts.setdefault(src, []).append(payload)
+                else:
+                    recv[src] = payload
+            for src, parts in frag_parts.items():
+                # slot-addressed assembly: immune to reordering
+                recv[src] = assemble_fragments(parts)
             inbox[q] = recv
 
     # ------------------------------------------------------------------
@@ -369,11 +475,12 @@ class Machine:
         inbox: list = [None] * P
         done = [False] * P
         results: list = [None] * P
-        stats = RunStats(P)
+        stats = RunStats(P, model=self.model)
         inj = self.injector
         if inj is not None:
             inj.reset()  # same-plan replays are bit-identical
         step_no = 0  # superstep counter (stall / reorder entropy coordinate)
+        pending_comm = None  # (msgs, nbytes) of an in-flight async exchange
 
         # observability: per-rank spans per phase window + comm counters
         tracer = _trace.get_tracer()
@@ -444,7 +551,7 @@ class Machine:
                         extra[p] += st
                         inj.record("stall", step_no, src=p, dst=p)
 
-            if kind == "alltoallv":
+            if kind in ("alltoallv", "alltoallv_async"):
                 if inj is not None:
                     self._faulty_alltoallv(
                         alive, requests, inbox, step_no, msgs, nbytes, bmat, retries, extra
@@ -456,15 +563,37 @@ class Machine:
                         for q, payload in send.items():
                             if not (0 <= q < P):
                                 raise RuntimeMachineError(f"bad destination {q}")
-                            recv[q][p] = payload
+                            fragmented = isinstance(payload, Fragmented)
+                            recv[q][p] = (
+                                assemble_fragments(payload) if fragmented else payload
+                            )
                             if q != p:
-                                msgs[p] += 1
+                                # a fragmented payload costs one α per part
+                                msgs[p] += len(payload) if fragmented else 1
                                 nb = payload_nbytes(payload)
                                 nbytes[p] += nb
                                 if bmat is not None:
                                     bmat[p, q] += nb
                     for p in alive:
                         inbox[p] = recv[p]
+                if kind == "alltoallv_async":
+                    # nonblocking: packets fly while the ranks compute their
+                    # interior rows; the matching "commwait" closes the window
+                    pending_comm = (msgs.copy(), nbytes.copy())
+            elif kind == "commwait":
+                for p in alive:
+                    inbox[p] = None
+                if pending_comm is not None and _metrics.metrics_enabled():
+                    pm, pb = pending_comm
+                    hidden = float(
+                        np.max(pm * self.model.latency + pb * self.model.inv_bandwidth)
+                    )
+                    if hidden > 0.0:
+                        _metrics.observe(
+                            "comm.overlap_ratio",
+                            min(hidden, float(compute.max())) / hidden,
+                        )
+                pending_comm = None
             elif kind == "allreduce":
                 vals = [requests[p][1] for p in alive]
                 if inj is not None:
@@ -549,6 +678,7 @@ class Machine:
                     PhaseStats(
                         kind, label, compute, msgs, nbytes,
                         bytes_matrix=bmat, retries=retries,
+                        overlapped=(kind == "alltoallv_async"),
                     )
                 )
             step_no += 1

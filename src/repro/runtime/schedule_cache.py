@@ -1,0 +1,192 @@
+"""Cross-call reuse of gather schedules (inspector amortization).
+
+The paper's whole argument for the inspector/executor split (Sec. 4,
+Tables 2–3) is that the communication sets ``Used``/``RecvInd`` are
+computed *once* and amortized over every executor iteration.  Within one
+solve that already happens — ``setup()`` runs once — but across solves and
+across kernels the runtime used to re-run the full collective inspection
+(including, on the Chaos path, rebuilding the distributed translation
+table) even when nothing structural changed.
+
+:class:`ScheduleCache` closes that gap.  A cache entry is keyed on
+everything the resulting :class:`~repro.runtime.inspector.GatherSchedule`
+depends on:
+
+* the **structure fingerprint** — CRC of the rank's ``Used`` set (the
+  requested global indices, paper Eq. 21),
+* the **distribution fingerprint** — CRC of the materialized IND relation
+  (:meth:`~repro.distribution.base.Distribution.fingerprint`); two
+  distributions with the same mapping share schedules,
+* the **translation coordinates** on the Chaos path — the owned-index
+  list the distributed table would be built from,
+* the rank and processor count.
+
+SPMD discipline: inspection is collective, so a cache hit must be
+*collective* too — if one rank skipped the inspector's all-to-alls while
+another ran them, the machine would (rightly) abort with an SPMD
+violation.  :func:`cached_schedule` therefore confirms the hit with one
+scalar allreduce before anyone skips anything; the α cost of that single
+agreement message is what a warm solve pays instead of the full
+inspection rounds.
+
+Corruption safety: entries are stored and served as deep copies, so a
+fault-injected run that damages its working schedule in place can never
+poison the cache.  The fault-recovery path
+(:func:`~repro.runtime.faults.ensure_valid_schedule`) still explicitly
+invalidates the owning entry before re-inspection and re-installs the
+verified rebuild — the cache is never allowed to serve a schedule whose
+integrity was ever in question.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.observability import metrics as _metrics
+from repro.runtime.inspector import GatherSchedule
+
+__all__ = [
+    "ScheduleCache",
+    "ScheduleCacheStats",
+    "DEFAULT_SCHEDULE_CACHE",
+    "cached_schedule",
+    "copy_schedule",
+    "schedule_cache_stats",
+]
+
+
+def _array_fp(arr) -> tuple[int, int]:
+    """(length, CRC32) fingerprint of an index array."""
+    a = np.ascontiguousarray(np.asarray(arr, dtype=np.int64))
+    return len(a), zlib.crc32(a.tobytes())
+
+
+def copy_schedule(sched: GatherSchedule) -> GatherSchedule:
+    """Deep copy of a gather schedule (all index arrays owned)."""
+    out = GatherSchedule(
+        sched.rank,
+        sched.nprocs,
+        np.array(sched.ghost_global, copy=True),
+        {q: np.array(v, copy=True) for q, v in sched.send_locals.items()},
+        {q: np.array(v, copy=True) for q, v in sched.recv_slots.items()},
+        np.array(sched.self_slots, copy=True),
+        np.array(sched.self_locals, copy=True),
+    )
+    return out
+
+
+@dataclass
+class ScheduleCacheStats:
+    """Hit/miss/invalidation counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+
+class ScheduleCache:
+    """Keyed store of inspected gather schedules.
+
+    Bounded LRU-ish (FIFO eviction at ``max_entries``); entries are deep
+    copies both on the way in and on the way out, so neither the producer
+    nor a consumer mutating its working schedule can corrupt the cache.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: dict[tuple, GatherSchedule] = {}
+        self.stats = ScheduleCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keys ------------------------------------------------------------
+    @staticmethod
+    def key_replicated(rank: int, dist, used) -> tuple:
+        """Key of a replicated-IND inspection (Eq. 21/22, local ownership)."""
+        return ("replicated", int(rank), dist.fingerprint(), _array_fp(used))
+
+    @staticmethod
+    def key_translated(rank: int, nglobal: int, nprocs: int, owned_global, used) -> tuple:
+        """Key of a Chaos inspection: the distributed table is determined
+        by (nglobal, nprocs, owned index list), so a hit skips both the
+        table build and the dereference rounds."""
+        return (
+            "translated",
+            int(rank),
+            int(nglobal),
+            int(nprocs),
+            _array_fp(owned_global),
+            _array_fp(used),
+        )
+
+    # -- store -----------------------------------------------------------
+    def get(self, key: tuple) -> GatherSchedule | None:
+        """A private copy of the cached schedule, or None."""
+        sched = self._entries.get(key)
+        return None if sched is None else copy_schedule(sched)
+
+    def put(self, key: tuple, sched: GatherSchedule) -> None:
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = copy_schedule(sched)
+
+    def invalidate(self, key: tuple) -> bool:
+        """Drop one entry (the ``rebuild_schedule`` recovery hook)."""
+        present = self._entries.pop(key, None) is not None
+        if present:
+            self.stats.invalidations += 1
+            _metrics.record("inspector.cache_invalidations", 1)
+        return present
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = ScheduleCacheStats()
+
+
+#: The process-global cache used when callers pass ``schedule_cache=True``.
+DEFAULT_SCHEDULE_CACHE = ScheduleCache()
+
+
+def schedule_cache_stats() -> dict:
+    """Counters of the process-global schedule cache."""
+    return DEFAULT_SCHEDULE_CACHE.stats.as_dict()
+
+
+def cached_schedule(cache: ScheduleCache | None, key: tuple, nprocs: int, build):
+    """SPMD subroutine: serve ``key`` from ``cache`` or run ``build``.
+
+    ``build`` is a zero-argument callable returning the inspector
+    generator (e.g. ``lambda: build_schedule_replicated(...)``).  The
+    hit/miss decision is confirmed collectively with one scalar allreduce
+    — every rank must agree before the inspection collectives are skipped,
+    which keeps the machine's SPMD contract intact under any pattern of
+    per-rank invalidation.  With ``cache=None`` this is exactly
+    ``yield from build()`` (no agreement round, zero overhead).
+    """
+    if cache is None:
+        sched = yield from build()
+        return sched
+    hit = cache.get(key)
+    n_hit = yield ("allreduce", 1 if hit is not None else 0)
+    if hit is not None and n_hit == nprocs:
+        cache.stats.hits += 1
+        _metrics.record("inspector.cache_hits", 1)
+        return hit
+    cache.stats.misses += 1
+    _metrics.record("inspector.cache_misses", 1)
+    sched = yield from build()
+    cache.put(key, sched)
+    return sched

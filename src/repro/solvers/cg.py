@@ -109,11 +109,17 @@ def cg(
 # ----------------------------------------------------------------------
 # parallel CG
 # ----------------------------------------------------------------------
-def _rank_cg(strategy, blocal, dlocal, niter, tol):
+def _rank_cg(strategy, blocal, dlocal, niter, tol, coalesce=True):
     """SPMD rank program: inspector phase, then ``niter`` PCG iterations.
 
     Global dot products are allreduces over local partial sums; the
-    residual history is identical on all ranks.
+    residual history is identical on all ranks.  With ``coalesce`` the
+    independent scalar reductions of each stage ride one array allreduce
+    (one α charge instead of two or three); the machine folds arrays
+    elementwise in the same rank order it folds scalars, so the sums —
+    and hence the iterates — are bitwise identical either way.  The p·q
+    reduction cannot join them: α depends on it before r (and thus the
+    next pair) exists.
     """
     yield ("phase", "inspector")
     yield from strategy.setup()
@@ -124,10 +130,20 @@ def _rank_cg(strategy, blocal, dlocal, niter, tol):
     r = blocal.copy()
     z = dinv * r
     p = z.copy()
-    rz = yield ("allreduce", float(r @ z))
-    b2 = yield ("allreduce", float(blocal @ blocal))
+    if coalesce:
+        rz, b2, rr = (
+            yield (
+                "allreduce",
+                np.array([float(r @ z), float(blocal @ blocal), float(r @ r)]),
+            )
+        )
+        rz, b2 = float(rz), float(b2)
+    else:
+        rz = yield ("allreduce", float(r @ z))
+        b2 = yield ("allreduce", float(blocal @ blocal))
+        rr = yield ("allreduce", float(r @ r))
     bnorm = np.sqrt(b2) or 1.0
-    residuals = [float(np.sqrt((yield ("allreduce", float(r @ r)))))]
+    residuals = [float(np.sqrt(rr))]
     it = 0
     converged = residuals[-1] <= tol * bnorm
     while it < niter and not converged:
@@ -137,12 +153,19 @@ def _rank_cg(strategy, blocal, dlocal, niter, tol):
         x += alpha * p
         r -= alpha * q
         z = dinv * r
-        rz_new = yield ("allreduce", float(r @ z))
+        if coalesce:
+            rz_new, rr = (
+                yield ("allreduce", np.array([float(r @ z), float(r @ r)]))
+            )
+            rz_new = float(rz_new)
+        else:
+            rz_new = yield ("allreduce", float(r @ z))
+            rr = yield ("allreduce", float(r @ r))
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p
         it += 1
-        residuals.append(float(np.sqrt((yield ("allreduce", float(r @ r))))))
+        residuals.append(float(np.sqrt(rr)))
         converged = residuals[-1] <= tol * bnorm
     return x, it, residuals, converged
 
@@ -157,6 +180,10 @@ def parallel_cg(
     dist=None,
     faults=None,
     delivery=None,
+    overlap: bool = True,
+    coalesce: bool = True,
+    schedule_cache=None,
+    model=None,
 ) -> CGResult:
     """SPMD preconditioned CG on the simulated machine.
 
@@ -178,13 +205,22 @@ def parallel_cg(
     solve under the fault-injecting delivery layer: the result either
     matches the fault-free solve bit-for-bit or the call raises
     :class:`~repro.errors.CommFailureError`.
+
+    ``overlap``, ``coalesce`` and ``schedule_cache`` are the executor
+    communication knobs (see :class:`~repro.runtime.comm.CommOptions`);
+    all three leave the computed iterates bitwise unchanged.  ``model``
+    overrides the machine's α–β :class:`~repro.runtime.machine.CommModel`.
     """
     from repro.distribution.block import BlockDistribution
     from repro.distribution.multiblock import MultiBlockDistribution
+    from repro.runtime.comm import CommOptions
 
     b = np.asarray(b, dtype=np.float64)
     n = len(b)
-    machine = Machine(nprocs, faults=faults, delivery=delivery)
+    machine = Machine(nprocs, faults=faults, delivery=delivery, model=model)
+    opts = CommOptions(
+        overlap=overlap, coalesce=coalesce, schedule_cache=schedule_cache
+    )
 
     bs_variants = {
         "blocksolve": BlockSolveSpMV,
@@ -203,11 +239,14 @@ def parallel_cg(
         dprime = np.empty(n)
         dprime[bs.perm.perm] = coo_diag
         cls_bs = bs_variants[variant]
-        strategies = [cls_bs(p, dist, bs) for p in range(nprocs)]
+        strategies = [cls_bs(p, dist, bs, opts=opts) for p in range(nprocs)]
 
         def make(p):
             mine = dist.owned_by(p)
-            return _rank_cg(strategies[p], bprime[mine], dprime[mine], niter, tol)
+            return _rank_cg(
+                strategies[p], bprime[mine], dprime[mine], niter, tol,
+                coalesce=coalesce,
+            )
 
         results, stats = machine.run(make)
         xprime = np.zeros(n)
@@ -224,9 +263,9 @@ def parallel_cg(
         cls = MixedSpMV if variant == "mixed" else GlobalSpMV
 
         def make(p):
-            strat = cls(p, dist, frags[p])
+            strat = cls(p, dist, frags[p], opts=opts)
             mine = dist.owned_by(p)
-            return _rank_cg(strat, b[mine], diag[mine], niter, tol)
+            return _rank_cg(strat, b[mine], diag[mine], niter, tol, coalesce=coalesce)
 
         results, stats = machine.run(make)
         x = np.zeros(n)

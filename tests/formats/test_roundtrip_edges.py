@@ -1,0 +1,69 @@
+"""Edge-case round-trips for every registered matrix format.
+
+Every format must either round-trip COO → format → COO exactly, or
+reject the input with :class:`~repro.errors.FormatError` — never a raw
+numpy exception.  The cases are the degenerate shapes real MatrixMarket
+collections contain: empty, 1×1, rectangular, duplicate entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import FORMAT_NAMES, BlockDiagonalMatrix, COOMatrix
+
+ALL_FORMATS = dict(FORMAT_NAMES, BlockDiag=BlockDiagonalMatrix)
+
+CASES = {
+    "empty": lambda: COOMatrix((0, 0), [], [], []),
+    "one": lambda: COOMatrix((1, 1), [0], [0], [2.5]),
+    "rectangular": lambda: COOMatrix(
+        (3, 7), [0, 1, 2, 2], [0, 3, 6, 5], [1.0, 2.0, 3.0, 4.0]
+    ),
+    "duplicates": lambda: COOMatrix(
+        (4, 4), [0, 0, 1, 2, 3, 3], [1, 1, 2, 3, 0, 0], [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    ),
+}
+
+
+@pytest.mark.parametrize("fmt_name", sorted(ALL_FORMATS))
+@pytest.mark.parametrize("case_name", sorted(CASES))
+def test_roundtrip_or_format_error(fmt_name, case_name):
+    cls = ALL_FORMATS[fmt_name]
+    coo = CASES[case_name]()
+    try:
+        m = cls.from_coo(coo)
+    except FormatError:
+        return  # a clean, typed rejection is an acceptable outcome
+    back = m.to_coo().canonicalized()
+    ref = coo.canonicalized()
+    assert back.shape == ref.shape
+    assert np.array_equal(back.row, ref.row)
+    assert np.array_equal(back.col, ref.col)
+    # duplicate entries must SUM (canonical COO semantics), not
+    # last-write-win
+    assert np.allclose(back.vals, ref.vals)
+
+
+def test_square_only_formats_reject_rectangular_with_message():
+    rect = CASES["rectangular"]()
+    with pytest.raises(FormatError, match="square"):
+        BlockDiagonalMatrix.from_coo(rect)
+    with pytest.raises(FormatError, match="square"):
+        FORMAT_NAMES["BS95"].from_coo(rect)
+
+
+def test_blockdiag_rejects_bad_blockptr():
+    coo = COOMatrix((4, 4), [0, 1], [0, 1], [1.0, 2.0])
+    for bad in ([1, 4], [0, 2], [0, 3, 2, 4], [0, 0, 4]):
+        with pytest.raises(FormatError):
+            BlockDiagonalMatrix.from_coo_blocks(coo, np.asarray(bad))
+
+
+def test_blockdiag_empty_matrix_has_zero_blocks():
+    m = BlockDiagonalMatrix.from_coo(COOMatrix((0, 0), [], [], []))
+    assert m.nblocks == 0
+    assert m.to_coo().nnz == 0
+    assert len(m.matvec(np.empty(0))) == 0

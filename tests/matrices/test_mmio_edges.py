@@ -1,0 +1,88 @@
+"""MatrixMarket header/entry validation and field-preserving round-trips."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.coo import COOMatrix
+from repro.matrices.mmio import dumps, read_matrix_market, write_matrix_market
+
+
+def _read(text: str) -> COOMatrix:
+    return read_matrix_market(io.StringIO(text))
+
+
+def test_pattern_skew_symmetric_header_is_contradictory():
+    text = "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n2 1\n"
+    with pytest.raises(FormatError, match="contradictory"):
+        _read(text)
+
+
+def test_pattern_symmetric_still_reads():
+    text = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 1\n2 1\n"
+    m = _read(text).canonicalized()
+    assert m.nnz == 3  # (0,0), (1,0) and mirrored (0,1)
+    assert np.all(m.vals == 1.0)
+
+
+def test_short_entry_line_raises_format_error_not_index_error():
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"
+    with pytest.raises(FormatError, match="fields"):
+        _read(text)
+
+
+def test_garbage_entry_line_raises_format_error():
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 3.0\n"
+    with pytest.raises(FormatError, match="bad entry"):
+        _read(text)
+
+
+def test_bad_size_line_raises_format_error():
+    text = "%%MatrixMarket matrix coordinate real general\nnot a size line\n"
+    with pytest.raises(FormatError, match="size line"):
+        _read(text)
+
+
+def test_integer_field_roundtrip_preserves_field_and_values():
+    m = COOMatrix((3, 3), [0, 1, 2], [1, 2, 0], [2.0, -7.0, 40.0])
+    text = dumps(m, field="integer")
+    assert "coordinate integer general" in text.splitlines()[0]
+    back = _read(text).canonicalized()
+    assert np.array_equal(back.vals, m.canonicalized().vals)
+
+
+def test_integer_field_rejects_fractional_values():
+    m = COOMatrix((2, 2), [0, 1], [0, 1], [1.5, 2.0])
+    with pytest.raises(FormatError, match="integral"):
+        dumps(m, field="integer")
+
+
+def test_pattern_field_writes_positions_only():
+    m = COOMatrix((2, 3), [0, 1], [2, 0], [1.0, 1.0])
+    text = dumps(m, field="pattern")
+    assert "coordinate pattern general" in text.splitlines()[0]
+    assert text.strip().splitlines()[-1] == "2 1"
+    back = _read(text).canonicalized()
+    assert np.all(back.vals == 1.0)
+    assert back.nnz == 2
+
+
+def test_unknown_writer_field_rejected():
+    m = COOMatrix((1, 1), [0], [0], [1.0])
+    with pytest.raises(FormatError, match="field"):
+        dumps(m, field="complex")
+
+
+def test_real_roundtrip_unchanged():
+    m = COOMatrix((3, 4), [0, 2, 1], [3, 0, 1], [0.25, -1.5, 3.0]).canonicalized()
+    buf = io.StringIO()
+    write_matrix_market(m, buf, comment="hello\nworld")
+    back = _read(buf.getvalue()).canonicalized()
+    assert back.shape == m.shape
+    assert np.array_equal(back.row, m.row)
+    assert np.array_equal(back.col, m.col)
+    assert np.array_equal(back.vals, m.vals)

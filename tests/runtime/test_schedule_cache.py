@@ -1,0 +1,164 @@
+"""Unit tests for the cross-call schedule cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distribution import BlockDistribution, CyclicDistribution
+from repro.runtime.inspector import GatherSchedule
+from repro.runtime.machine import Machine
+from repro.runtime.schedule_cache import (
+    ScheduleCache,
+    cached_schedule,
+    copy_schedule,
+)
+
+
+def _sched(rank=0, nprocs=2):
+    s = GatherSchedule(rank, nprocs, np.array([3, 5, 9], dtype=np.int64))
+    s.send_locals = {1: np.array([0, 2], dtype=np.int64)}
+    s.recv_slots = {1: np.array([0, 1], dtype=np.int64)}
+    s.self_slots = np.array([2], dtype=np.int64)
+    s.self_locals = np.array([4], dtype=np.int64)
+    return s
+
+
+def _assert_schedules_equal(a, b):
+    assert np.array_equal(a.ghost_global, b.ghost_global)
+    assert set(a.send_locals) == set(b.send_locals)
+    for q in a.send_locals:
+        assert np.array_equal(a.send_locals[q], b.send_locals[q])
+    for q in a.recv_slots:
+        assert np.array_equal(a.recv_slots[q], b.recv_slots[q])
+    assert np.array_equal(a.self_slots, b.self_slots)
+    assert np.array_equal(a.self_locals, b.self_locals)
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+def test_key_depends_on_used_set_and_distribution():
+    d = BlockDistribution(12, 3)
+    used = np.array([1, 5, 9])
+    k1 = ScheduleCache.key_replicated(0, d, used)
+    assert k1 == ScheduleCache.key_replicated(0, d, used.copy())
+    assert k1 != ScheduleCache.key_replicated(1, d, used)
+    assert k1 != ScheduleCache.key_replicated(0, d, np.array([1, 5, 10]))
+    assert k1 != ScheduleCache.key_replicated(0, CyclicDistribution(12, 3), used)
+
+
+def test_identical_mappings_share_keys_across_classes():
+    # a block distribution over nprocs=1 and a cyclic one are the SAME
+    # mapping; the fingerprint hashes the materialized relation, not the
+    # class, so their schedules are interchangeable
+    used = np.array([0, 3])
+    kb = ScheduleCache.key_replicated(0, BlockDistribution(6, 1), used)
+    kc = ScheduleCache.key_replicated(0, CyclicDistribution(6, 1), used)
+    assert kb == kc
+
+
+# ----------------------------------------------------------------------
+# store semantics
+# ----------------------------------------------------------------------
+def test_get_and_put_serve_private_copies():
+    cache = ScheduleCache()
+    orig = _sched()
+    cache.put(("k",), orig)
+    orig.ghost_global[0] = 777  # producer mutates AFTER caching
+    served = cache.get(("k",))
+    assert served.ghost_global[0] == 3
+    served.send_locals[1][0] = 555  # consumer mutates its copy
+    assert cache.get(("k",)).send_locals[1][0] == 0
+
+
+def test_copy_schedule_is_deep():
+    a = _sched()
+    b = copy_schedule(a)
+    _assert_schedules_equal(a, b)
+    b.ghost_global[0] = -1
+    b.send_locals[1][0] = -1
+    assert a.ghost_global[0] == 3
+    assert a.send_locals[1][0] == 0
+
+
+def test_fifo_eviction_bounds_the_cache():
+    cache = ScheduleCache(max_entries=2)
+    cache.put(("a",), _sched())
+    cache.put(("b",), _sched())
+    cache.put(("c",), _sched())
+    assert len(cache) == 2
+    assert cache.get(("a",)) is None  # oldest evicted
+    assert cache.get(("c",)) is not None
+
+
+def test_invalidate_drops_entry_and_counts():
+    cache = ScheduleCache()
+    cache.put(("k",), _sched())
+    assert cache.invalidate(("k",))
+    assert cache.get(("k",)) is None
+    assert not cache.invalidate(("k",))  # idempotent
+    assert cache.stats.invalidations == 1
+
+
+def test_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        ScheduleCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# the collective hit/miss agreement
+# ----------------------------------------------------------------------
+def _run_cached(cache_per_rank, nprocs, build_calls):
+    dist = BlockDistribution(8, nprocs)
+    from repro.runtime.inspector import build_schedule_replicated
+
+    def prog(p):
+        used = np.arange(8, dtype=np.int64)
+
+        def build():
+            build_calls.append(p)
+            s = yield from build_schedule_replicated(p, dist, used)
+            return s
+
+        key = ScheduleCache.key_replicated(p, dist, used)
+        sched = yield from cached_schedule(cache_per_rank[p], key, nprocs, build)
+        return sched.nghost
+
+    results, _ = Machine(nprocs).run(prog)
+    return results
+
+
+def test_unanimous_hit_skips_inspection():
+    nprocs = 2
+    shared = ScheduleCache()
+    calls: list[int] = []
+    first = _run_cached([shared] * nprocs, nprocs, calls)
+    assert sorted(calls) == [0, 1]
+    calls.clear()
+    second = _run_cached([shared] * nprocs, nprocs, calls)
+    assert calls == []  # both ranks served from cache, zero inspection
+    assert first == second
+    assert shared.stats.hits == nprocs
+
+
+def test_partial_hit_falls_back_collectively():
+    # rank 0 has a warm cache, rank 1 a cold one: the agreement allreduce
+    # must force BOTH to run the inspection (else SPMD would break)
+    nprocs = 2
+    warm, cold = ScheduleCache(), ScheduleCache()
+    calls: list[int] = []
+    _run_cached([warm, warm], nprocs, calls)  # warm both entries into `warm`
+    calls.clear()
+    _run_cached([warm, cold], nprocs, calls)
+    assert sorted(calls) == [0, 1]
+
+
+def test_none_cache_is_transparent():
+    nprocs = 2
+    calls: list[int] = []
+    _run_cached([None] * nprocs, nprocs, calls)
+    assert sorted(calls) == [0, 1]
+    calls.clear()
+    _run_cached([None] * nprocs, nprocs, calls)
+    assert sorted(calls) == [0, 1]

@@ -125,14 +125,18 @@ def random_fault_plan(rng: np.random.Generator, heavy: bool = False) -> FaultPla
 # ----------------------------------------------------------------------
 # runners
 # ----------------------------------------------------------------------
-def run_parallel_spmv(coo, dist, variant: str, x, faults=None, delivery=None):
-    """One distributed y = A·x on the simulated machine; returns (y, stats)."""
+def run_parallel_spmv(coo, dist, variant: str, x, faults=None, delivery=None, comm=None):
+    """One distributed y = A·x on the simulated machine; returns (y, stats).
+
+    ``comm`` is an optional :class:`~repro.runtime.comm.CommOptions`
+    threaded to the strategy constructors (None keeps the defaults).
+    """
     frags = partition_rows(coo, dist)
     machine = Machine(dist.nprocs, faults=faults, delivery=delivery)
     cls = SPMV_VARIANTS[variant]
 
     def prog(p):
-        strat = cls(p, dist, frags[p])
+        strat = cls(p, dist, frags[p], opts=comm)
         yield ("phase", "inspector")
         yield from strat.setup()
         yield ("phase", "executor")
