@@ -1,0 +1,65 @@
+"""Static analysis & verification for the Bernoulli pipeline.
+
+Four passes over the artifacts the compiler and runtime otherwise take
+on faith, each reporting :class:`~repro.analysis.diagnostics.Diagnostic`
+findings with stable ``BER0xx`` codes:
+
+* :mod:`repro.analysis.doany` — is the loop nest really DOANY?
+* :mod:`repro.analysis.contracts` — do formats deliver the access-method
+  properties their levels declare?
+* :mod:`repro.analysis.lint` — are the chosen plans and the emitted
+  kernels structurally sane?
+* :mod:`repro.analysis.schedule` — are the SPMD communication schedules
+  deadlock-free before any rank executes?
+
+``python -m repro.analysis`` runs them from the command line; the DOANY
+checker also runs inside :func:`~repro.compiler.compile_kernel` (the
+``verify=`` parameter), and the schedule checker re-verifies
+fault-recovery rebuilds inside the runtime.
+"""
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARN,
+    Diagnostic,
+    DiagnosticReport,
+)
+from repro.analysis.registry import AnalysisPass, all_passes, get_pass, register_pass
+
+# importing the pass modules registers their sweep runners
+from repro.analysis import contracts, doany, lint, schedule  # noqa: E402,F401
+from repro.analysis.contracts import audit_format, audit_registered_formats
+from repro.analysis.doany import check_program, check_source
+from repro.analysis.lint import lint_generated_source, lint_kernel, lint_plan
+from repro.analysis.schedule import (
+    check_gather_schedules,
+    check_spmv_strategies,
+    trace_collectives,
+    verify_rebuilt_schedule,
+)
+
+__all__ = [
+    "ERROR",
+    "WARN",
+    "INFO",
+    "SEVERITIES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "AnalysisPass",
+    "register_pass",
+    "get_pass",
+    "all_passes",
+    "check_program",
+    "check_source",
+    "audit_format",
+    "audit_registered_formats",
+    "lint_plan",
+    "lint_kernel",
+    "lint_generated_source",
+    "check_gather_schedules",
+    "check_spmv_strategies",
+    "trace_collectives",
+    "verify_rebuilt_schedule",
+]

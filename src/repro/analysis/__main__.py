@@ -1,0 +1,216 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Examples::
+
+    # everything: registered sweep passes (doany, contracts, lint, schedule)
+    python -m repro.analysis --all
+
+    # audit every registered format's access-method contracts
+    python -m repro.analysis --all-formats
+
+    # dependence-check + lint the kernels under a directory (*.loop files)
+    python -m repro.analysis --kernels examples/
+
+    # machine-readable report for CI artifacts; exit 1 on any error
+    python -m repro.analysis --all --json diagnostics.json
+
+Kernel files are mini-language loop nests.  The CLI compiles each one
+against probe formats chosen by convention — assignment targets get
+writable dense storage, other matrices a CRS probe, vectors dense — so
+the plan and the generated code can be linted without the caller wiring
+up storage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import all_passes
+from repro.analysis.diagnostics import ERROR, Diagnostic, DiagnosticReport
+from repro.analysis.doany import check_program
+from repro.analysis.lint import lint_kernel
+from repro.errors import ReproError
+
+#: extent given to every symbolic loop bound when probing CLI kernels
+_PROBE_EXTENT = 6
+
+
+def _probe_formats(program):
+    """Choose probe storage for every array by convention."""
+    from repro.formats.coo import COOMatrix
+    from repro.formats.crs import CRSMatrix
+    from repro.formats.dense import DenseMatrix, DenseVector
+
+    extents = {}
+    for spec in program.loops:
+        extents[spec.var] = (
+            int(spec.hi) if spec.hi.lstrip("-").isdigit() else _PROBE_EXTENT
+        )
+    targets = {stmt.target.array for stmt in program.body}
+    arity: dict[str, int] = {}
+    refs = [stmt.target for stmt in program.body] + [
+        r for stmt in program.body for r in stmt.expr.refs()
+    ]
+    shapes: dict[str, tuple[int, ...]] = {}
+    for ref in refs:
+        arity[ref.array] = len(ref.indices)
+        shapes[ref.array] = tuple(
+            extents.get(v, _PROBE_EXTENT) for v in ref.indices
+        )
+    rng = np.random.default_rng(0)
+    formats = {}
+    for name, nd in arity.items():
+        shape = shapes[name]
+        if nd == 1:
+            formats[name] = DenseVector(np.zeros(shape[0]))
+        elif name in targets:
+            formats[name] = DenseMatrix.zeros(*shape)
+        else:
+            d = (rng.random(shape) < 0.5) * rng.integers(1, 5, shape).astype(float)
+            formats[name] = CRSMatrix.from_coo(COOMatrix.from_dense(d))
+    return formats
+
+
+def _check_kernel_file(path: Path) -> DiagnosticReport:
+    from repro.compiler import compile_kernel
+    from repro.compiler.parser import parse
+    from repro.errors import CompileError, ParseError
+
+    source = path.read_text()
+    report = DiagnosticReport()
+    try:
+        program = parse(source)
+    except ParseError as e:
+        report.add(
+            Diagnostic(
+                "BER001",
+                ERROR,
+                f"kernel does not parse: {e}",
+                pass_name="cli",
+                location=str(path),
+            )
+        )
+        return report
+    report.extend(check_program(program, source=source))
+    try:
+        formats = _probe_formats(program)
+        kern = compile_kernel(
+            program, formats, cache=False, verify="off"
+        )
+    except (CompileError, ReproError) as e:
+        report.add(
+            Diagnostic(
+                "BER001",
+                ERROR,
+                f"kernel does not compile against probe formats: {e}",
+                pass_name="cli",
+                location=str(path),
+            )
+        )
+        return report
+    report.extend(lint_kernel(kern, formats, where=str(path)))
+    return report
+
+
+def _discover_kernels(paths) -> list[Path]:
+    found: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            found.extend(sorted(p.rglob("*.loop")))
+        else:
+            found.append(p)
+    return found
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Bernoulli static analysis & verification",
+    )
+    ap.add_argument(
+        "--all", action="store_true", help="run every registered sweep pass"
+    )
+    ap.add_argument(
+        "--passes",
+        default=None,
+        help="comma-separated pass names (see --list)",
+    )
+    ap.add_argument(
+        "--all-formats",
+        action="store_true",
+        help="audit every registered format's access-method contracts",
+    )
+    ap.add_argument(
+        "--kernels",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="dependence-check + lint *.loop kernel files (dirs recurse)",
+    )
+    ap.add_argument(
+        "--list", action="store_true", help="list registered passes and exit"
+    )
+    ap.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the full report as JSON ('-' for stdout)",
+    )
+    ap.add_argument(
+        "--min-severity",
+        choices=["error", "warn", "info"],
+        default="warn",
+        help="lowest severity to print (default: warn)",
+    )
+    args = ap.parse_args(argv)
+
+    passes = all_passes()
+    if args.list:
+        for p in passes.values():
+            print(f"{p.name:12s} {p.description}")
+        return 0
+
+    report = DiagnosticReport()
+    ran = False
+    selected: list[str] = []
+    if args.all:
+        selected = list(passes)
+    elif args.passes:
+        selected = [s.strip() for s in args.passes.split(",") if s.strip()]
+    if args.all_formats and "contracts" not in selected:
+        selected.append("contracts")
+    for name in selected:
+        if name not in passes:
+            ap.error(f"unknown pass {name!r}; known: {sorted(passes)}")
+        report.extend(passes[name].run())
+        ran = True
+    if args.kernels:
+        files = _discover_kernels(args.kernels)
+        if not files:
+            ap.error(f"no kernel files found under {args.kernels}")
+        for path in files:
+            report.extend(_check_kernel_file(path))
+        ran = True
+    if not ran:
+        ap.error("nothing to do: pass --all, --passes, --all-formats or --kernels")
+
+    rendered = report.render(args.min_severity)
+    if rendered != "no diagnostics":
+        print(rendered)
+    print(report.summary())
+    if args.json:
+        payload = report.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+    return 1 if report.errors() else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""DOANY dependence checker (paper Sec. 2's unchecked assumption).
+
+The mini-language promises the compiler a DOANY nest: every iteration of
+the loop product may execute in any order (or concurrently) without
+changing the result.  Nothing verified that promise before this pass.
+
+Because indices are plain loop-variable names (no affine arithmetic —
+the grammar only admits ``A[i,j]``), the classic dependence tests reduce
+to tuple algebra over index tuples:
+
+* an access tuple *covers* the nest when every loop variable appears in
+  it — then the tuple names a distinct element in every iteration, so
+  any dependence through it is intra-iteration (harmless);
+* two accesses to the same array with *different* index tuples (e.g.
+  ``Y[i,j]`` vs ``Y[j,i]``) touch the same element from different
+  iterations whenever the tuples can collide — a loop-carried flow/anti
+  dependence;
+* a tuple that does *not* cover the nest is written by every iteration
+  of the missing variables — an output dependence for plain writes, and
+  exactly the *legal reduction* carve-out for pure ``+=`` accumulation
+  (order-independent up to floating-point rounding, the DOANY contract).
+
+Codes:
+
+=======  ============================================================
+BER010   info — statement verified iteration-independent / legal reduction
+BER011   error — plain assignment's target does not cover the nest
+         (many iterations write the same element; last writer wins)
+BER012   error — RHS reads the statement's own target across iterations
+         (reduction reading its target, or plain assignment doing so)
+BER013   error — cross-statement loop-carried flow/anti dependence
+         (one statement writes what another reads, tuples differ or
+         do not cover the nest)
+BER014   error — cross-statement output dependence (two writes to the
+         same array that are not both pure reductions)
+=======  ============================================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import ERROR, INFO, Diagnostic, DiagnosticReport
+from repro.analysis.registry import register_pass
+from repro.compiler.ast_nodes import Program
+
+__all__ = ["check_program", "check_source"]
+
+_PASS = "doany"
+
+
+def _covers(indices: tuple[str, ...], loop_vars: frozenset[str]) -> bool:
+    """True when every loop variable appears in the index tuple."""
+    return loop_vars <= set(indices)
+
+
+def _diag(code, severity, message, location, stmt_or_ref=None, source=None):
+    span = getattr(stmt_or_ref, "span", None)
+    return Diagnostic(
+        code,
+        severity,
+        message,
+        pass_name=_PASS,
+        location=location,
+        span=span,
+        source=source if span is not None else None,
+    )
+
+
+def check_program(program: Program, source: str | None = None) -> DiagnosticReport:
+    """Prove every statement DOANY-legal, or say exactly why not.
+
+    ``source`` is the mini-language text the program was parsed from
+    (optional); with it, error diagnostics carry caret snippets.
+    """
+    report = DiagnosticReport()
+    loop_vars = frozenset(l.var for l in program.loops)
+
+    # ------------------------------------------------------------------
+    # per-statement checks: target coverage + self-reads
+    # ------------------------------------------------------------------
+    stmt_clean = [True] * len(program.body)
+    for k, stmt in enumerate(program.body):
+        loc = f"statement [{k}]"
+        t = stmt.target.indices
+        if not stmt.reduce and not _covers(t, loop_vars):
+            missing = sorted(loop_vars - set(t))
+            report.add(
+                _diag(
+                    "BER011",
+                    ERROR,
+                    f"plain assignment target {stmt.target!r} does not cover "
+                    f"loop variable(s) {missing}: every iteration of the "
+                    "missing loops writes the same element (not DOANY); "
+                    "write a reduction with '+=' or index the target fully",
+                    loc,
+                    stmt.target,
+                    source,
+                )
+            )
+            stmt_clean[k] = False
+        for r in stmt.expr.refs():
+            if r.array != stmt.target.array:
+                continue
+            if stmt.reduce and r.indices == t and _covers(t, loop_vars):
+                # Y[i] += Y[i] * ... : each iteration owns its element
+                continue
+            if stmt.reduce:
+                why = (
+                    "the update is not a pure reduction: iteration order "
+                    "changes the value read"
+                )
+            else:
+                why = "zero-fill compilation would read the cleared target"
+            report.add(
+                _diag(
+                    "BER012",
+                    ERROR,
+                    f"{r!r} reads the statement's own target "
+                    f"{stmt.target!r} across iterations — {why}",
+                    loc,
+                    r,
+                    source,
+                )
+            )
+            stmt_clean[k] = False
+
+    # ------------------------------------------------------------------
+    # cross-statement checks: flow/anti (write vs read) and output
+    # (write vs write) dependences between different statements
+    # ------------------------------------------------------------------
+    for k1, s1 in enumerate(program.body):
+        for k2, s2 in enumerate(program.body):
+            if k1 == k2:
+                continue
+            # write in s1 vs read in s2 (k1 < k2: flow; k1 > k2: anti —
+            # symmetric for DOANY, so only report each unordered pair once)
+            if k1 > k2:
+                continue
+            for writer, reader, wk, rk in ((s1, s2, k1, k2), (s2, s1, k2, k1)):
+                w = writer.target
+                for r in reader.expr.refs():
+                    if r.array != w.array:
+                        continue
+                    if r.indices == w.indices and _covers(w.indices, loop_vars):
+                        continue  # same element, same iteration only
+                    kind = "flow" if wk < rk else "anti"
+                    report.add(
+                        _diag(
+                            "BER013",
+                            ERROR,
+                            f"loop-carried {kind} dependence: statement "
+                            f"[{wk}] writes {w!r}, statement [{rk}] reads "
+                            f"{r!r} — iterations are not independent",
+                            f"statements [{wk}]→[{rk}]",
+                            r,
+                            source,
+                        )
+                    )
+                    stmt_clean[wk] = stmt_clean[rk] = False
+            # write vs write (output dependence)
+            if s1.target.array == s2.target.array:
+                both_reduce = s1.reduce and s2.reduce
+                same_elem = s1.target.indices == s2.target.indices and _covers(
+                    s1.target.indices, loop_vars
+                )
+                if not (both_reduce or same_elem):
+                    report.add(
+                        _diag(
+                            "BER014",
+                            ERROR,
+                            f"output dependence: statements [{k1}] and "
+                            f"[{k2}] both write {s1.target.array!r} and at "
+                            "least one is a plain assignment — the final "
+                            "value depends on iteration order",
+                            f"statements [{k1}]→[{k2}]",
+                            s2.target,
+                            source,
+                        )
+                    )
+                    stmt_clean[k1] = stmt_clean[k2] = False
+
+    for k, stmt in enumerate(program.body):
+        if stmt_clean[k]:
+            verdict = (
+                "legal reduction" if stmt.reduce else "iteration-independent"
+            )
+            report.add(
+                _diag(
+                    "BER010",
+                    INFO,
+                    f"{stmt!r}: verified {verdict} (DOANY-legal)",
+                    f"statement [{k}]",
+                    stmt,
+                    source,
+                )
+            )
+    return report
+
+
+def check_source(source: str) -> DiagnosticReport:
+    """Parse mini-language text and run the dependence checker on it."""
+    from repro.compiler.parser import parse
+
+    return check_program(parse(source), source=source)
+
+
+@register_pass("doany", "DOANY dependence checker over shipped kernels")
+def _sweep() -> DiagnosticReport:
+    from repro.kernels.spmm import SPMM_SRC
+    from repro.kernels.spmv import SPMV_SRC, SPMV_T_SRC
+    from repro.kernels.vecops import AXPY_SRC, DOT_SRC, SCALE_SRC
+
+    report = DiagnosticReport()
+    for src in (SPMV_SRC, SPMV_T_SRC, SPMM_SRC, AXPY_SRC, DOT_SRC, SCALE_SRC):
+        report.extend(check_source(src))
+    return report

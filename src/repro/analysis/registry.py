@@ -1,0 +1,59 @@
+"""The verification-pass registry.
+
+Each pass registers a name, a one-line description, and a zero-config
+entry point (used by the ``python -m repro.analysis`` CLI to run "all
+passes" without hard-coding the list).  Passes with richer signatures
+(per-kernel, per-format, per-strategy) expose those directly from their
+modules; the registered runner is the whole-repo sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+__all__ = ["AnalysisPass", "register_pass", "get_pass", "all_passes"]
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """One registered verification pass."""
+
+    name: str
+    description: str
+    #: zero-argument whole-repo runner returning a DiagnosticReport
+    run: Callable
+
+    def __repr__(self):
+        return f"AnalysisPass({self.name!r}: {self.description})"
+
+
+_PASSES: dict[str, AnalysisPass] = {}
+
+
+def register_pass(name: str, description: str):
+    """Decorator registering ``fn`` as the named pass's sweep runner."""
+
+    def deco(fn):
+        if name in _PASSES:
+            raise ReproError(f"analysis pass {name!r} registered twice")
+        _PASSES[name] = AnalysisPass(name, description, fn)
+        return fn
+
+    return deco
+
+
+def get_pass(name: str) -> AnalysisPass:
+    try:
+        return _PASSES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown analysis pass {name!r}; known: {sorted(_PASSES)}"
+        ) from None
+
+
+def all_passes() -> dict[str, AnalysisPass]:
+    """Registered passes in registration order."""
+    return dict(_PASSES)

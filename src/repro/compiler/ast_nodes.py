@@ -11,9 +11,10 @@ All nodes are immutable and hashable (they key the kernel cache).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ParseError
+from repro.sourceloc import SourceSpan
 
 __all__ = [
     "Expr",
@@ -80,11 +81,14 @@ class Ref(Expr):
 
     array: str
     indices: tuple[str, ...]
+    #: source span of the reference (parser-provided; excluded from
+    #: equality/hash/repr so cache keys and dedup are span-insensitive)
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         object.__setattr__(self, "indices", tuple(self.indices))
         if not self.indices:
-            raise ParseError(f"reference to {self.array} has no indices")
+            raise ParseError(f"reference to {self.array} has no indices", span=self.span)
 
     def refs(self):
         return (self,)
@@ -150,6 +154,8 @@ class Assign(Stmt):
     target: Ref
     expr: Expr
     reduce: bool = False
+    #: source span of the whole statement (see :class:`Ref.span`)
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self):
         op = "+=" if self.reduce else "="
@@ -187,7 +193,8 @@ class Program(Stmt):
                 for ix in ref.indices:
                     if ix not in bound:
                         raise ParseError(
-                            f"index {ix!r} in {ref!r} is not a loop variable"
+                            f"index {ix!r} in {ref!r} is not a loop variable",
+                            span=ref.span,
                         )
 
     def arrays(self) -> frozenset[str]:
@@ -220,13 +227,17 @@ def normalize_statement(stmt: Assign) -> Assign:
     """
     if not stmt.reduce and isinstance(stmt.expr, BinOp) and stmt.expr.op == "+":
         if stmt.expr.left == stmt.target:
-            stmt = Assign(stmt.target, stmt.expr.right, reduce=True)
+            stmt = Assign(stmt.target, stmt.expr.right, reduce=True, span=stmt.span)
         elif stmt.expr.right == stmt.target:
-            stmt = Assign(stmt.target, stmt.expr.left, reduce=True)
+            stmt = Assign(stmt.target, stmt.expr.left, reduce=True, span=stmt.span)
     if not stmt.reduce:
-        if any(r.array == stmt.target.array for r in stmt.expr.refs()):
+        offender = next(
+            (r for r in stmt.expr.refs() if r.array == stmt.target.array), None
+        )
+        if offender is not None:
             raise ParseError(
                 f"plain assignment to {stmt.target.array} reads the target; "
-                "write it as a reduction (+=) instead"
+                "write it as a reduction (+=) instead",
+                span=offender.span or stmt.span,
             )
     return stmt

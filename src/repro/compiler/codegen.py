@@ -679,6 +679,9 @@ def generate_source(
     """
     with span("compiler.codegen", units=len(units), backend=backend.name) as sp:
         g = Emitter()
+        # parameter names must never be reused as generated temporaries (a
+        # storage array named like a fresh temp would be clobbered)
+        g.reserve(param_names)
         g.emit(f"def {func_name}({', '.join(param_names)}):")
         g.depth += 1
         body_start = len(g.lines)

@@ -34,7 +34,7 @@ from repro.compiler.plan_cache import PlanCache, kernel_cache_key
 from repro.compiler.query_extract import extract_query
 from repro.compiler.scheduling import plan_query
 from repro.compiler.sparsity import split_statement
-from repro.errors import CompileError
+from repro.errors import CompileError, VerificationError
 from repro.formats.base import Format
 from repro.observability import metrics as _metrics
 from repro.observability import trace as _trace
@@ -336,6 +336,7 @@ def compile_kernel(
     allow_merge: bool = True,
     cache: bool = True,
     backend: str | ExecutorBackend | None = None,
+    verify: str = "error",
 ) -> CompiledKernel:
     """Compile a dense DOANY loop nest against concrete storage formats.
 
@@ -355,18 +356,47 @@ def compile_kernel(
         are given (contradictions raise).
     force_driver:
         Pin the planner's primary driver (ablation hook).
+    verify:
+        DOANY dependence checking (:mod:`repro.analysis.doany`), run on
+        every compile (cache hits included — the check is pure tuple
+        algebra): ``"error"`` (default) raises
+        :class:`~repro.errors.VerificationError` when the nest is not
+        provably iteration-independent, ``"warn"`` downgrades findings
+        to a Python warning, ``"off"`` skips the check.
     """
     be = resolve_backend(backend, vectorize)
+    if verify not in ("off", "warn", "error"):
+        raise CompileError(
+            f"verify must be 'off', 'warn' or 'error', got {verify!r}"
+        )
     with _trace.span(
         "compiler.compile_kernel",
         backend=be.name,
         force_driver=force_driver,
         formats={n: type(f).__name__ for n, f in formats.items()},
     ) as sp:
+        src_text = source if isinstance(source, str) else None
         program = parse(source) if isinstance(source, str) else source
         for name in program.arrays():
             if name not in formats:
                 raise CompileError(f"no format given for array {name!r}")
+        if verify != "off":
+            from repro.analysis.doany import check_program
+
+            findings = check_program(program, source=src_text)
+            if not findings.ok:
+                if verify == "error":
+                    raise VerificationError(
+                        "loop nest is not DOANY-safe:\n"
+                        + findings.render("error"),
+                        diagnostics=tuple(findings.errors()),
+                    )
+                import warnings
+
+                warnings.warn(
+                    "loop nest is not DOANY-safe:\n" + findings.render("error"),
+                    stacklevel=2,
+                )
         key = None
         if cache:
             key = kernel_cache_key(program, formats, be.name, force_driver, allow_merge)

@@ -14,6 +14,7 @@ __all__ = [
     "FormatError",
     "CompileError",
     "ParseError",
+    "VerificationError",
     "PlanningError",
     "SparsityError",
     "DistributionError",
@@ -42,7 +43,39 @@ class CompileError(ReproError):
 
 
 class ParseError(CompileError):
-    """The mini-language source text is malformed."""
+    """The mini-language source text is malformed.
+
+    Carries an optional :class:`~repro.sourceloc.SourceSpan` plus the
+    source text it points into; when both are present ``str(err)`` renders
+    the same caret snippet the analysis diagnostics use, so parser errors
+    and analyzer findings share one location format.
+    """
+
+    def __init__(self, message: str, span=None, source: str | None = None):
+        super().__init__(message)
+        self.message = message
+        self.span = span
+        self.source = source
+
+    def __str__(self) -> str:
+        if self.span is not None and self.source is not None:
+            from repro.sourceloc import caret_snippet
+
+            return f"{self.message} at {caret_snippet(self.source, self.span)}"
+        return self.message
+
+
+class VerificationError(CompileError):
+    """A verification pass found error-severity diagnostics.
+
+    Raised by ``compile_kernel(verify="error")`` when the DOANY dependence
+    checker rejects the program.  ``diagnostics`` holds the offending
+    :class:`~repro.analysis.diagnostics.Diagnostic` objects.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
 
 
 class PlanningError(CompileError):

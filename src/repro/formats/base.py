@@ -43,6 +43,7 @@ class Emitter:
         self.lines: list[str] = []
         self.depth = 0
         self._counters: dict[str, int] = {}
+        self._reserved: set[str] = set()
 
     def emit(self, line: str = "") -> None:
         """Append one line at the current indentation depth."""
@@ -59,11 +60,27 @@ class Emitter:
             raise FormatError("emitter block underflow")
         self.depth -= levels
 
+    def reserve(self, names) -> None:
+        """Mark ``names`` as taken so :meth:`fresh` never returns them.
+
+        Callers pass the kernel's parameter names (storage keys and free
+        scalars): a user array named e.g. ``_s0`` would otherwise collide
+        with the first ``fresh("s")`` temporary and be clobbered by the
+        generated code.
+        """
+        self._reserved.update(names)
+
     def fresh(self, base: str) -> str:
-        """A new unique variable name derived from ``base``."""
+        """A new unique variable name derived from ``base``; skips any
+        name previously handed out or reserved via :meth:`reserve`."""
         n = self._counters.get(base, 0)
+        name = f"_{base}{n}"
+        while name in self._reserved:
+            n += 1
+            name = f"_{base}{n}"
         self._counters[base] = n + 1
-        return f"_{base}{n}"
+        self._reserved.add(name)
+        return name
 
     def source(self) -> str:
         return "\n".join(self.lines) + "\n"

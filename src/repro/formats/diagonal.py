@@ -81,10 +81,18 @@ class DiagRunLevel(AccessLevel):
         return p
 
     def emit_search(self, g: Emitter, prefix: str, parent_pos, axis_exprs: Mapping[int, str]) -> str:
-        # full-key search given (i, j); the owner searches across diagonals
+        # search *within* the parent diagonal: (i, j) lies on diagonal t iff
+        # j - i equals its offset and i falls inside the stored run.  The
+        # search must be parent-relative — the planner always enumerates the
+        # internal diagonal level first, so a full-key find here would hit
+        # the same entry once per diagonal and reductions would over-count.
+        t = parent_pos
+        g.open(f"if {axis_exprs[1]} - ({axis_exprs[0]}) != {prefix}_offsets[{t}]:")
+        g.emit("continue")
+        g.close()
         p = g.fresh("p")
-        g.emit(f"{p} = {prefix}_find({axis_exprs[0]}, {axis_exprs[1]})")
-        g.open(f"if {p} < 0:")
+        g.emit(f"{p} = {prefix}_dptr[{t}] + (({axis_exprs[0]}) - {prefix}_first[{t}])")
+        g.open(f"if {p} < {prefix}_dptr[{t}] or {p} >= {prefix}_dptr[{t} + 1]:")
         g.emit("continue")
         g.close()
         return p

@@ -14,7 +14,11 @@ from repro.compiler import compile_kernel
 from repro.formats.base import Format
 from repro.formats.dense import DenseVector
 
-__all__ = ["axpy", "dot", "scale"]
+__all__ = ["axpy", "dot", "scale", "AXPY_SRC", "DOT_SRC", "SCALE_SRC"]
+
+AXPY_SRC = "for i in 0:n { Y[i] += alpha * X[i] }"
+DOT_SRC = "for z in 0:1 { for i in 0:n { S[z] += X[i] * Y[i] } }"
+SCALE_SRC = "for i in 0:n { Y[i] = alpha * X[i] }"
 
 
 def _vec(x) -> Format:
@@ -25,9 +29,7 @@ def axpy(alpha: float, x, y, backend: str | None = None) -> np.ndarray:
     """y += alpha · x.  ``x`` may be sparse (compressed vector) or dense."""
     X = _vec(x)
     Y = _vec(y)
-    k = compile_kernel(
-        "for i in 0:n { Y[i] += alpha * X[i] }", {"X": X, "Y": Y}, backend=backend
-    )
+    k = compile_kernel(AXPY_SRC, {"X": X, "Y": Y}, backend=backend)
     k(X=X, Y=Y, alpha=float(alpha))
     return Y.vals
 
@@ -38,11 +40,7 @@ def dot(x, y, backend: str | None = None) -> float:
     Y = _vec(y)
     acc = DenseVector.zeros(1)
     # the scalar accumulator is a 1-element vector indexed by a unit loop
-    k = compile_kernel(
-        "for z in 0:1 { for i in 0:n { S[z] += X[i] * Y[i] } }",
-        {"X": X, "Y": Y, "S": acc},
-        backend=backend,
-    )
+    k = compile_kernel(DOT_SRC, {"X": X, "Y": Y, "S": acc}, backend=backend)
     k(X=X, Y=Y, S=acc)
     return float(acc.vals[0])
 
@@ -51,8 +49,6 @@ def scale(alpha: float, x, backend: str | None = None) -> np.ndarray:
     """x *= alpha, in place, via a compiled kernel."""
     X = _vec(x)
     Y = DenseVector(np.array(X.to_dense(), dtype=np.float64))
-    k = compile_kernel(
-        "for i in 0:n { Y[i] = alpha * X[i] }", {"X": X, "Y": Y}, backend=backend
-    )
+    k = compile_kernel(SCALE_SRC, {"X": X, "Y": Y}, backend=backend)
     k(X=X, Y=Y, alpha=float(alpha))
     return Y.vals

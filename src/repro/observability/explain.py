@@ -53,7 +53,12 @@ def explain(obj, formats=None, verbose: bool = True) -> str:
             parts.append(
                 _explain_unit(unit, fmt_names, verbose, header=f"statement [{k}]")
             )
-        return "\n\n".join(parts)
+        text = "\n\n".join(parts)
+        if verbose:
+            findings = _kernel_diagnostics(obj)
+            if findings:
+                text += "\n\n" + findings
+        return text
     if isinstance(obj, KernelUnit):
         return _explain_unit(obj, {}, verbose, header="statement")
     if isinstance(obj, Plan):
@@ -62,6 +67,20 @@ def explain(obj, formats=None, verbose: bool = True) -> str:
         f"cannot explain a {type(obj).__name__}; pass a CompiledKernel, "
         "KernelUnit, Plan, or source text with formats"
     )
+
+
+def _kernel_diagnostics(kernel) -> str:
+    """Analyzer findings (warnings and errors only) for a compiled kernel,
+    or the empty string when the linter has nothing to say."""
+    from repro.analysis.lint import lint_kernel
+
+    report = lint_kernel(kernel)
+    notable = report.errors() + report.warnings()
+    if not notable:
+        return ""
+    lines = ["analyzer findings:"]
+    lines.extend(f"  {d.render()}" for d in notable)
+    return "\n".join(lines)
 
 
 def _explain_unit(unit, fmt_names: dict, verbose: bool, header: str) -> str:

@@ -529,6 +529,17 @@ def ensure_valid_schedule(strategy):
             f"rank {rank}: re-inspection did not restore the communication "
             f"schedule (step {step}); refusing to run on corrupt RecvInd"
         )
+    # the fingerprint proves the rebuild matches the original bytes; the
+    # structural checker additionally proves the original was well-formed
+    # (covered ghost slots, sorted directory, in-range send offsets)
+    from repro.analysis.schedule import verify_rebuilt_schedule
+
+    rebuilt_report = verify_rebuilt_schedule(strategy, new_sched)
+    if not rebuilt_report.ok:
+        raise CommFailureError(
+            f"rank {rank}: rebuilt schedule failed verification (step "
+            f"{step}):\n{rebuilt_report.render('error')}"
+        )
     if cache is not None and cache_key is not None:
         # re-install the verified rebuild (fingerprint-checked above)
         cache.put(cache_key, new_sched)

@@ -1,0 +1,66 @@
+"""Source locations shared by the parser and the analysis passes.
+
+A :class:`SourceSpan` is a half-open character-offset range into one
+source string.  Parser errors (:class:`~repro.errors.ParseError`) and
+analyzer diagnostics (:mod:`repro.analysis.diagnostics`) both carry spans
+and render them through :func:`caret_snippet`, so every tool that points
+at mini-language source points the same way::
+
+    line 1, column 20
+        for i in 0:n { Y[i] = Y[j] }
+                           ^^^^
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SourceSpan", "line_col", "caret_snippet"]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Half-open ``[start, end)`` character range into a source string."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    def merge(self, other: "SourceSpan | None") -> "SourceSpan":
+        """Smallest span covering both (``other`` may be None)."""
+        if other is None:
+            return self
+        return SourceSpan(min(self.start, other.start), max(self.end, other.end))
+
+
+def line_col(source: str, offset: int) -> tuple[int, int]:
+    """1-based (line, column) of a character offset into ``source``."""
+    offset = max(0, min(offset, len(source)))
+    line = source.count("\n", 0, offset) + 1
+    bol = source.rfind("\n", 0, offset) + 1
+    return line, offset - bol + 1
+
+
+def caret_snippet(source: str, span: SourceSpan, indent: str = "    ") -> str:
+    """Render the span's source line with a caret underline.
+
+    Multi-line spans underline to the end of the first line.  The header
+    line (``line L, column C``) comes first so the snippet can be appended
+    verbatim to an error message.
+    """
+    line, col = line_col(source, span.start)
+    bol = source.rfind("\n", 0, span.start) + 1
+    eol = source.find("\n", bol)
+    if eol < 0:
+        eol = len(source)
+    text = source[bol:eol]
+    width = max(1, min(span.end, eol) - span.start)
+    underline = " " * (col - 1) + "^" * width
+    return (
+        f"line {line}, column {col}\n"
+        f"{indent}{text}\n"
+        f"{indent}{underline}"
+    )

@@ -1,0 +1,73 @@
+"""CLI front end: exit codes, kernel discovery, JSON artifact."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+
+def test_list_exits_zero_and_names_all_passes(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("contracts", "doany", "lint", "schedule"):
+        assert name in out
+
+
+def test_all_formats_sweep_is_clean(capsys):
+    assert main(["--all-formats"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_example_kernels_lint_clean(capsys):
+    # the shipped examples must stay warning-tolerable and error-free
+    assert main(["--kernels", "examples/kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_single_pass_selection(capsys):
+    assert main(["--passes", "lint"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_unknown_pass_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as e:
+        main(["--passes", "nonsense"])
+    assert e.value.code == 2
+    assert "unknown pass" in capsys.readouterr().err
+
+
+def test_no_action_is_a_usage_error():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unparseable_kernel_is_ber001_and_exit_one(tmp_path, capsys):
+    bad = tmp_path / "bad.loop"
+    bad.write_text("for i in { nonsense")
+    assert main(["--kernels", str(bad)]) == 1
+    assert "BER001" in capsys.readouterr().out
+
+
+def test_racy_kernel_fails_with_doany_code(tmp_path, capsys):
+    racy = tmp_path / "racy.loop"
+    racy.write_text("for i in 0:n { for j in 0:n { Y[i] += A[i,j] * Y[j] } }")
+    assert main(["--kernels", str(racy)]) == 1
+    assert "BER012" in capsys.readouterr().out
+
+
+def test_json_artifact_round_trips(tmp_path, capsys):
+    out_file = tmp_path / "diag.json"
+    assert main(["--kernels", "examples/kernels", "--json", str(out_file)]) == 0
+    doc = json.loads(out_file.read_text())
+    assert isinstance(doc["diagnostics"], list)
+    assert doc["summary"]["errors"] == 0
+    assert all(d["code"].startswith("BER") for d in doc["diagnostics"])
+
+
+def test_directory_discovery_recurses(tmp_path, capsys):
+    sub = tmp_path / "nested" / "deeper"
+    sub.mkdir(parents=True)
+    (sub / "ok.loop").write_text("for i in 0:n { Y[i] += X[i] }")
+    assert main(["--kernels", str(tmp_path)]) == 0

@@ -1,0 +1,67 @@
+"""compile_kernel's verify= gate: error raises, warn warns, off compiles."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.errors import CompileError, VerificationError
+from repro.formats.coo import COOMatrix
+from repro.formats.crs import CRSMatrix
+from repro.formats.dense import DenseMatrix, DenseVector
+
+# accepted by the per-statement pipeline, but carries a cross-statement
+# permuted flow dependence the DOANY checker must reject (BER013)
+RACY = "for i in 0:n { for j in 0:n { Y[i,j] += A[i,j] Z[i,j] += Y[j,i] } }"
+CLEAN = "for i in 0:n { for j in 0:n { Y[i] += A[i,j] * X[j] } }"
+
+
+def _formats_racy():
+    d = np.eye(4)
+    A = CRSMatrix.from_coo(COOMatrix.from_dense(d))
+    return {"A": A, "Y": DenseMatrix.zeros(4, 4), "Z": DenseMatrix.zeros(4, 4)}
+
+
+def _formats_clean():
+    d = np.eye(4)
+    A = CRSMatrix.from_coo(COOMatrix.from_dense(d))
+    return {"A": A, "X": DenseVector(np.ones(4)), "Y": DenseVector.zeros(4)}
+
+
+def test_default_verify_rejects_racy_nest():
+    with pytest.raises(VerificationError) as e:
+        compile_kernel(RACY, _formats_racy(), cache=False)
+    err = e.value
+    assert err.diagnostics and err.diagnostics[0].code == "BER013"
+    assert "BER013" in str(err)
+
+
+def test_verification_error_is_a_compile_error():
+    with pytest.raises(CompileError):
+        compile_kernel(RACY, _formats_racy(), cache=False)
+
+
+def test_verify_warn_compiles_with_a_warning():
+    with pytest.warns(UserWarning, match="BER013"):
+        k = compile_kernel(RACY, _formats_racy(), cache=False, verify="warn")
+    assert k is not None
+
+
+def test_verify_off_compiles_silently():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        k = compile_kernel(RACY, _formats_racy(), cache=False, verify="off")
+    assert k is not None
+
+
+def test_clean_kernel_passes_default_verification():
+    k = compile_kernel(CLEAN, _formats_clean(), cache=False)
+    out = DenseVector.zeros(4)
+    k(A=_formats_clean()["A"], X=DenseVector(np.ones(4)), Y=out)
+    assert np.allclose(out.vals, np.ones(4))
+
+
+def test_bad_verify_value_is_rejected_early():
+    with pytest.raises(CompileError, match="verify"):
+        compile_kernel(CLEAN, _formats_clean(), cache=False, verify="maybe")

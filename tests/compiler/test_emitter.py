@@ -1,0 +1,102 @@
+"""Emitter.fresh collision hardening and ParseError source spans."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_kernel, parse
+from repro.compiler.parser import tokenize_spans
+from repro.errors import ParseError
+from repro.formats.base import Emitter
+from repro.formats.dense import DenseVector
+from repro.sourceloc import SourceSpan, caret_snippet
+
+
+# ----------------------------------------------------------------------
+# fresh-name generation never collides with reserved names
+# ----------------------------------------------------------------------
+def test_fresh_names_are_unique():
+    g = Emitter()
+    names = [g.fresh("p") for _ in range(5)]
+    assert len(set(names)) == 5
+
+
+def test_fresh_skips_reserved_names():
+    g = Emitter()
+    g.reserve(["_p0", "_p1", "_s0"])
+    assert g.fresh("p") == "_p2"
+    assert g.fresh("s") == "_s1"
+
+
+def test_fresh_never_reissues_its_own_output():
+    g = Emitter()
+    a = g.fresh("i")
+    g.reserve([a])  # idempotent: already reserved by fresh itself
+    assert g.fresh("i") != a
+
+
+def test_reserve_after_fresh_still_protects_later_bases():
+    g = Emitter()
+    g.fresh("t")
+    g.reserve(["_t1"])
+    assert g.fresh("t") == "_t2"
+
+
+def test_kernel_with_adversarial_array_name_compiles_and_runs():
+    # a user array whose storage key looks exactly like a generated
+    # temporary must not be clobbered by the kernel body
+    x = DenseVector(np.arange(4.0))
+    y = DenseVector.zeros(4)
+    k = compile_kernel(
+        "for i in 0:n { Y[i] += _s0[i] }",
+        {"_s0": x, "Y": y},
+        cache=False,
+    )
+    assert "_s0_vals" in k.param_names
+    out = DenseVector.zeros(4)
+    k(_s0=x, Y=out)
+    assert np.allclose(out.vals, x.vals)
+
+
+# ----------------------------------------------------------------------
+# ParseError carries a span and renders a caret snippet
+# ----------------------------------------------------------------------
+def test_tokenize_spans_cover_the_source():
+    src = "Y[i] += X[j]"
+    for tok, sp in tokenize_spans(src):
+        assert src[sp.start : sp.end] == tok
+
+
+def test_bad_character_error_points_at_it():
+    src = "for i in 0:n { Y[i] @= X[i] }"
+    with pytest.raises(ParseError) as e:
+        parse(src)
+    err = e.value
+    assert err.span is not None
+    assert src[err.span.start] == "@"
+    assert "^" in str(err)
+
+
+def test_unexpected_token_error_renders_caret_line():
+    src = "for i in 0:n { Y[i] = }"
+    with pytest.raises(ParseError) as e:
+        parse(src)
+    rendered = str(e.value)
+    assert "line 1" in rendered and "^" in rendered
+
+
+def test_target_read_rejection_points_at_the_read():
+    src = "for i in 0:n { Y[i] = Y[i] * X[i] }"
+    with pytest.raises(ParseError) as e:
+        parse(src)
+    err = e.value
+    assert err.span is not None
+    assert src[err.span.start : err.span.end] == "Y[i]"
+
+
+def test_caret_snippet_multiline_points_at_right_line():
+    src = "for i in 0:n {\n  Y[i] += X[i]\n}"
+    start = src.index("X[i]")
+    snip = caret_snippet(src, SourceSpan(start, start + 4))
+    assert "line 2" in snip
+    caret_line = snip.splitlines()[-1]
+    assert caret_line.strip() == "^^^^"
