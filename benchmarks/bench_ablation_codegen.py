@@ -7,6 +7,15 @@ order of magnitude at these sizes — the backend matters as much as the
 plan.
 """
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401  (installed, or on PYTHONPATH)
+except ModuleNotFoundError:  # run from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 import numpy as np
 import pytest
 
@@ -51,3 +60,37 @@ def test_ablation_codegen_speedup():
             fn()
         results[vec] = (time.perf_counter() - t0) / 3
     assert results[True] * 5 < results[False], results
+
+
+def main(argv=None):
+    import time
+
+    from bench_cli import tracked_main
+
+    def measure(args):
+        reps = 2 if args.smoke else 3
+        clear_kernel_cache()
+        times = {}
+        for vec in (False, True):
+            fn = make_kernel(CRSMatrix, vec)
+            fn()  # warmup
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            times[vec] = (time.perf_counter() - t0) / reps
+        speedup = times[False] / times[True]
+        print(f"scalar={times[False]:.5f}s vector={times[True]:.5f}s "
+              f"speedup={speedup:.1f}x")
+        config = {"format": "CRS", "matrix": "gr_30_30", "smoke": bool(args.smoke)}
+        return speedup, config, {
+            "scalar_seconds": times[False], "vector_seconds": times[True],
+        }
+
+    return tracked_main(
+        "ablation_codegen", measure, direction="higher",
+        description=__doc__, argv=argv,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

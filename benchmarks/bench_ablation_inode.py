@@ -8,6 +8,15 @@ CRS on a multi-dof FEM matrix?  Three SpMV paths on the same matrix:
 * ``inode-library``  — the hand-written shape-batched library matvec.
 """
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401  (installed, or on PYTHONPATH)
+except ModuleNotFoundError:  # run from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 import numpy as np
 import pytest
 
@@ -54,3 +63,35 @@ def test_inode_library_beats_compiled_crs():
             fn()
         times[name] = (time.perf_counter() - t0) / 5
     assert times["inode-library"] < times["crs-compiled"], times
+
+
+def main(argv=None):
+    import time
+
+    from bench_cli import tracked_main
+
+    def measure(args):
+        reps = 3 if args.smoke else 5
+        fns = paths()
+        times = {}
+        for name, fn in fns.items():
+            fn()  # warmup
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            times[name] = (time.perf_counter() - t0) / reps
+        speedup = times["crs-compiled"] / times["inode-library"]
+        for name, t in times.items():
+            print(f"{name:<16} {t * 1e3:.3f} ms")
+        print(f"inode-library over crs-compiled: {speedup:.2f}x")
+        config = {"nnz": int(_COO.nnz), "smoke": bool(args.smoke)}
+        return speedup, config, {f"{k}_seconds": v for k, v in times.items()}
+
+    return tracked_main(
+        "ablation_inode", measure, direction="higher",
+        description=__doc__, argv=argv,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

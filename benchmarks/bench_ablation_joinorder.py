@@ -7,6 +7,15 @@ asymptotically worse join order.  The planner's cost model must pick the
 former unaided.
 """
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401  (installed, or on PYTHONPATH)
+except ModuleNotFoundError:  # run from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 import numpy as np
 import pytest
 
@@ -67,3 +76,30 @@ def test_planner_picks_the_cheap_order():
     assert plan.driver == "A"
     forced = plan_query(q, {"A": A, "X": X, "Y": Y}, force_driver="X")
     assert forced.cost > plan.cost
+
+
+def main(argv=None):
+    from bench_cli import tracked_main
+
+    def measure(args):
+        A, X, Y = setup()
+        program = parse(SPMV_SRC)
+        q = extract_query(program, program.body[0], {"A", "X"})
+        plan = plan_query(q, {"A": A, "X": X, "Y": Y})
+        forced = plan_query(q, {"A": A, "X": X, "Y": Y}, force_driver="X")
+        ratio = forced.cost / plan.cost  # deterministic cost-model margin
+        print(f"natural driver {plan.driver} cost={plan.cost:.1f}; "
+              f"forced X cost={forced.cost:.1f}; margin={ratio:.2f}x")
+        config = {"n": 120, "density": 0.05, "smoke": bool(args.smoke)}
+        return ratio, config, {
+            "natural_cost": float(plan.cost), "forced_cost": float(forced.cost),
+        }
+
+    return tracked_main(
+        "ablation_joinorder", measure, direction="higher",
+        description=__doc__, argv=argv,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,15 @@ once through a Chaos distributed translation table (table build with
 volume ∝ n, plus a dereference round trip).
 """
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401  (installed, or on PYTHONPATH)
+except ModuleNotFoundError:  # run from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 import numpy as np
 import pytest
 
@@ -67,3 +76,37 @@ def test_translated_pays_problem_size_volume():
     # the table build alone moves Θ(n) data; replicated moves Θ(ghosts)
     assert s_tr.total_nbytes() > 10 * s_rep.total_nbytes()
     assert s_tr.parallel_time(COMM) > s_rep.parallel_time(COMM)
+
+
+def main(argv=None):
+    from bench_cli import tracked_main
+
+    def measure(args):
+        n = 1000 if args.smoke else 4000
+        dist, needed = workload(n=n)
+        s_rep = run_replicated(dist, needed)
+        s_tr = run_translated(dist, needed)
+        t_rep = s_rep.parallel_time(COMM)
+        t_tr = s_tr.parallel_time(COMM)
+        ratio = t_tr / t_rep  # deterministic modeled cost of translation
+        print(f"replicated {t_rep:.6f}s ({s_rep.total_nbytes()} B)  "
+              f"translated {t_tr:.6f}s ({s_tr.total_nbytes()} B)  "
+              f"ratio {ratio:.2f}x")
+        config = {"n": n, "P": dist.nprocs, "smoke": bool(args.smoke)}
+        return ratio, config, {
+            "replicated_seconds": t_rep,
+            "translated_seconds": t_tr,
+            "replicated_bytes": int(s_rep.total_nbytes()),
+            "translated_bytes": int(s_tr.total_nbytes()),
+        }
+
+    # like joinorder: the margin of the structured path is the figure of
+    # merit — it collapses if the replicated inspector gets more expensive
+    return tracked_main(
+        "ablation_translation", measure, direction="higher",
+        description=__doc__, argv=argv,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,15 @@ relative cost of the Indirect-Mixed implementation over Bernoulli-Mixed is
 must start high at small k, decay toward 1, and sit higher for larger P.
 """
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401  (installed, or on PYTHONPATH)
+except ModuleNotFoundError:  # run from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 import pytest
 
 from paperbench import format_fig4, run_fig4
@@ -28,3 +37,35 @@ def test_fig4_curves(benchmark):
         benchmark.extra_info[f"P{P}_r_I"] = s["r_I"]
     print()
     print(format_fig4(series))
+
+
+def main(argv=None):
+    from bench_cli import tracked_main
+    from paperbench import geomean
+
+    def measure(args):
+        P_list = (2,) if args.smoke else P_LIST
+        series = run_fig4(P_list=P_list)
+        print(format_fig4(series))
+        # headline: inspector amortization ratios (both implementations,
+        # every P) — grows when inspection gets more expensive relative
+        # to one executor iteration
+        vals = [s["r_B"] for s in series.values()] + [
+            s["r_I"] for s in series.values()
+        ]
+        config = {"P_list": list(P_list), "smoke": bool(args.smoke)}
+        metrics = {
+            f"P{P}_{k}": s[k]
+            for P, s in series.items()
+            for k in ("r_B", "r_I")
+        }
+        return geomean(vals), config, metrics
+
+    return tracked_main(
+        "fig4_conditioning", measure, direction="lower",
+        description=__doc__, argv=argv,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,15 @@ Paper claims reproduced in shape:
 Each benchmark runs a full 10-iteration CG through the simulated machine.
 """
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401  (installed, or on PYTHONPATH)
+except ModuleNotFoundError:  # run from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 import numpy as np
 import pytest
 
@@ -48,3 +57,31 @@ def test_table2_shape():
     assert t_mx < t_gl * 1.35, "mixed executor should track the naive one"
     assert t_mx < 3 * t_bs, "compiled mixed executor within a small factor of library"
     assert t_gl < 3 * t_bs, "compiled naive executor within a small factor of library"
+
+
+def main(argv=None):
+    from bench_cli import tracked_main
+    from paperbench import geomean
+
+    def measure(args):
+        niter = 4 if args.smoke else 10
+        P = 2 if args.smoke else 4
+        ms = {v: run_cg_measurement(v, P, niter=niter) for v in VARIANTS}
+        for v, m in ms.items():
+            print(f"{v:<12} executor={m.executor_seconds:.4f}s "
+                  f"inspector={m.inspector_seconds:.4f}s")
+        value = geomean(m.executor_seconds for m in ms.values())
+        config = {"P": P, "niter": niter, "smoke": bool(args.smoke)}
+        metrics = {
+            f"{v}_executor_seconds": ms[v].executor_seconds for v in VARIANTS
+        } | {f"{v}_inspector_seconds": ms[v].inspector_seconds for v in VARIANTS}
+        return value, config, metrics
+
+    return tracked_main(
+        "table2_executor", measure, direction="lower",
+        description=__doc__, argv=argv,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,10 +11,18 @@ Three cooperating pieces, all off by default and near-free when off:
   inspector-vs-executor renderers,
 * :mod:`repro.observability.explain` — ``explain(kernel)``: the join
   order, join implementation per term, sparsity predicate, and rejected
-  alternatives of every compiled statement.
+  alternatives of every compiled statement,
+* :mod:`repro.observability.profile` — critical-path profiler and
+  cost-model audit over ``RunStats`` (per-rank compute/comm/idle
+  attribution, cross-rank critical path, load imbalance, α+β·n
+  prediction error),
+* :mod:`repro.observability.bench_track` — benchmark trajectory records
+  (``BENCH_history.jsonl``) and the ``--gate`` regression check.
 
 ``python -m repro.observability.report trace.json`` pretty-prints a trace
-saved by ``Tracer.save`` or a benchmark ``--trace`` run.
+saved by ``Tracer.save`` or a benchmark ``--trace`` run;
+``--critical-path`` / ``--cost-audit`` run the profiler on the trace's
+embedded ``run_stats`` event.
 """
 
 from repro.observability.metrics import (
@@ -26,6 +34,7 @@ from repro.observability.metrics import (
     phase_breakdown,
     render_comm_matrix,
     render_phase_breakdown,
+    scoped,
 )
 from repro.observability.trace import (
     Tracer,
@@ -52,6 +61,7 @@ __all__ = [
     "enable_metrics",
     "disable_metrics",
     "metrics_enabled",
+    "scoped",
     "render_comm_matrix",
     "phase_breakdown",
     "render_phase_breakdown",

@@ -24,6 +24,7 @@ The SPMD-specific reports live here too:
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from dataclasses import dataclass, field
 
@@ -38,6 +39,7 @@ __all__ = [
     "enable_metrics",
     "disable_metrics",
     "metrics_enabled",
+    "scoped",
     "record",
     "observe",
     "render_comm_matrix",
@@ -78,9 +80,21 @@ class Gauge:
         self.value -= amount
 
 
+#: histogram sample buffer bound; beyond it the buffer decimates 2:1 and
+#: doubles its keep-stride (deterministic systematic sampling, no RNG)
+_SAMPLE_CAP = 8192
+
+
 @dataclass
 class Histogram:
-    """Streaming summary: count / total / min / max (no buckets kept)."""
+    """Streaming summary: count / total / min / max plus percentiles.
+
+    Percentiles come from a bounded, deterministic sample: every
+    ``_stride``-th observation is kept, and when the buffer hits
+    ``_SAMPLE_CAP`` it is decimated 2:1 and the stride doubles — so
+    memory is O(1), replayed runs summarize identically, and quantile
+    error stays small for the smooth distributions we observe
+    (``comm.overlap_ratio``, schedule sizes, span durations)."""
 
     name: str
     labels: tuple[tuple[str, str], ...] = ()
@@ -88,9 +102,16 @@ class Histogram:
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    _samples: list[float] = field(default_factory=list, repr=False)
+    _stride: int = field(default=1, repr=False)
 
     def observe(self, value: float) -> None:
         v = float(value)
+        if self.count % self._stride == 0:
+            self._samples.append(v)
+            if len(self._samples) >= _SAMPLE_CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
         self.count += 1
         self.total += v
         self.min = min(self.min, v)
@@ -99,6 +120,25 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """The q-th percentile (0..100) of the sampled observations, or
+        None before the first observation."""
+        if not self._samples:
+            return None
+        return float(np.percentile(self._samples, q))
+
+    @property
+    def p50(self) -> float | None:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float | None:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float | None:
+        return self.percentile(99.0)
 
 
 class MetricsRegistry:
@@ -146,6 +186,9 @@ class MetricsRegistry:
                         "mean": inst.mean,
                         "min": inst.min if inst.count else None,
                         "max": inst.max if inst.count else None,
+                        "p50": inst.p50,
+                        "p95": inst.p95,
+                        "p99": inst.p99,
                     }
                 else:
                     out[key] = inst.value
@@ -155,9 +198,15 @@ class MetricsRegistry:
         lines = []
         for key, val in self.snapshot().items():
             if isinstance(val, dict):
+                quant = (
+                    f" p50={val['p50']:.6g} p95={val['p95']:.6g} "
+                    f"p99={val['p99']:.6g}"
+                    if val.get("p50") is not None
+                    else ""
+                )
                 lines.append(
                     f"{key}  count={val['count']} total={val['total']:.6g} "
-                    f"mean={val['mean']:.6g}"
+                    f"mean={val['mean']:.6g}" + quant
                 )
             else:
                 lines.append(f"{key}  {val:.6g}" if isinstance(val, float) else f"{key}  {val}")
@@ -186,6 +235,38 @@ def disable_metrics() -> None:
 
 def metrics_enabled() -> bool:
     return _enabled
+
+
+@contextlib.contextmanager
+def scoped(enabled: bool = True):
+    """Hermetic metrics scope: swap in a fresh registry for the duration
+    of the block and restore the previous registry *and* enabled flag on
+    exit, success or error.
+
+    Library code records through the module globals (:func:`record` /
+    :func:`observe` / ``metrics.REGISTRY``), so everything recorded
+    inside the block lands in the scoped registry — counters from other
+    tests (e.g. an earlier ``compiler.cache_hits``) can neither leak in
+    nor be clobbered::
+
+        with metrics.scoped() as reg:
+            run_workload()
+            assert reg.snapshot()["compiler.cache_hits"] == 2
+
+    Note: a ``from ... import REGISTRY`` binding taken *before* the block
+    still points at the outer registry; read through ``metrics.REGISTRY``
+    or the yielded handle inside the block.
+    """
+    global REGISTRY, _enabled
+    prev_registry, prev_enabled = REGISTRY, _enabled
+    fresh = MetricsRegistry()
+    REGISTRY = fresh
+    _enabled = enabled
+    try:
+        yield fresh
+    finally:
+        REGISTRY = prev_registry
+        _enabled = prev_enabled
 
 
 def record(name: str, amount: float = 1.0, **labels) -> None:

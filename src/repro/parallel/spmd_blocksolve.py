@@ -192,18 +192,20 @@ class BlockSolveSpMV(BSFragments):
             # the library's own pipeline: exchange in flight while the
             # clique blocks and local i-nodes multiply
             pending = yield from exchange_start(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
             if self.A_D is not None:
                 self.A_D.matvec(xlocal, out=y)
             self.A_SL.matvec(xlocal, out=y)
-            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+            ghost = yield from exchange_finish(
+                self.sched, xlocal, pending, owner=type(self).__name__
+            )
         else:
             if self.A_D is not None:
                 self.A_D.matvec(xlocal, out=y)
             self.A_SL.matvec(xlocal, out=y)
             ghost = yield from exchange_opt(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
         self.A_SNL.matvec(ghost, out=y)
         return y
@@ -246,18 +248,20 @@ class BernoulliMixedBS(BSFragments):
             # local statements need no ghost values, so they run inside
             # the exchange window
             pending = yield from exchange_start(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
             if self._runD is not None:
                 self._runD()
             self._runSL()
-            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+            ghost = yield from exchange_finish(
+                self.sched, xlocal, pending, owner=type(self).__name__
+            )
         else:
             if self._runD is not None:
                 self._runD()
             self._runSL()
             ghost = yield from exchange_opt(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
         if self.sched.nghost:
             self._gbuf.vals[:] = ghost
@@ -302,13 +306,15 @@ class BernoulliGlobalBS(BSFragments):
             # window closes immediately — the cost of Eq. 23's missing
             # locality declaration, visible in ``comm.overlap_ratio``
             pending = yield from exchange_start(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
             self._ybuf.vals[:] = 0.0
-            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+            ghost = yield from exchange_finish(
+                self.sched, xlocal, pending, owner=type(self).__name__
+            )
         else:
             ghost = yield from exchange_opt(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
             self._ybuf.vals[:] = 0.0
         if self.sched.nghost:

@@ -150,13 +150,15 @@ class GlobalSpMV:
             # opens/closes so the collective pattern matches the mixed
             # executors rank-for-rank.
             pending = yield from exchange_start(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
             self._ybuf.vals[:] = 0.0
-            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+            ghost = yield from exchange_finish(
+                self.sched, xlocal, pending, owner=type(self).__name__
+            )
         else:
             ghost = yield from exchange_opt(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
             self._ybuf.vals[:] = 0.0
         if self.sched.nghost:
@@ -242,14 +244,16 @@ class MixedSpMV:
             # multiply the interior (A_local needs no ghost values) while
             # packets fly, then close the window and finish the boundary.
             pending = yield from exchange_start(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
             self._run_local()
-            ghost = yield from exchange_finish(self.sched, xlocal, pending)
+            ghost = yield from exchange_finish(
+                self.sched, xlocal, pending, owner=type(self).__name__
+            )
         else:
             self._run_local()
             ghost = yield from exchange_opt(
-                self.sched, xlocal, coalesce=self.opts.coalesce
+                self.sched, xlocal, coalesce=self.opts.coalesce, owner=type(self).__name__
             )
         if self.sched.nghost:
             self._gbuf.vals[:] = ghost

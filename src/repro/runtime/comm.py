@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import InspectorError
 from repro.observability import metrics as _metrics
+from repro.observability import trace as _trace
 from repro.runtime.inspector import GatherSchedule
 from repro.runtime.machine import Fragmented
 from repro.runtime.schedule_cache import DEFAULT_SCHEDULE_CACHE, ScheduleCache
@@ -113,7 +114,28 @@ def assemble_ghost(sched: GatherSchedule, xlocal: np.ndarray, recv: dict) -> np.
     return ghost
 
 
-def exchange_opt(sched: GatherSchedule, xlocal: np.ndarray, coalesce: bool = True):
+def _mark_window(name: str, sched: GatherSchedule, owner: str | None, **attrs) -> None:
+    """Trace instant on the rank's own timeline for one exchange window
+    (post / wait / blocking), so the critical-path report can line span
+    traffic up against the modeled supersteps."""
+    tracer = _trace.get_tracer()
+    if tracer is None:
+        return
+    tracer.instant(
+        name,
+        tid=f"rank{sched.rank}",
+        owner=owner,
+        peers=len(sched.send_locals),
+        **attrs,
+    )
+
+
+def exchange_opt(
+    sched: GatherSchedule,
+    xlocal: np.ndarray,
+    coalesce: bool = True,
+    owner: str | None = None,
+):
     """Blocking ghost exchange with a coalescing knob (SPMD subroutine)."""
     send = pack_ghost_sends(sched, xlocal, coalesce)
     if _metrics.metrics_enabled():
@@ -122,11 +144,17 @@ def exchange_opt(sched: GatherSchedule, xlocal: np.ndarray, coalesce: bool = Tru
             "executor.gathered_values",
             sum(len(loc) for loc in sched.send_locals.values()),
         )
+    _mark_window("comm.exchange", sched, owner, coalesce=coalesce)
     recv = yield ("alltoallv", send)
     return assemble_ghost(sched, xlocal, recv)
 
 
-def exchange_start(sched: GatherSchedule, xlocal: np.ndarray, coalesce: bool = True):
+def exchange_start(
+    sched: GatherSchedule,
+    xlocal: np.ndarray,
+    coalesce: bool = True,
+    owner: str | None = None,
+):
     """Post the ghost exchange nonblocking; returns the pending arrivals.
 
     The caller computes interior rows next, then closes the window with
@@ -139,11 +167,18 @@ def exchange_start(sched: GatherSchedule, xlocal: np.ndarray, coalesce: bool = T
             "executor.gathered_values",
             sum(len(loc) for loc in sched.send_locals.values()),
         )
+    _mark_window("comm.overlap.post", sched, owner, coalesce=coalesce)
     recv = yield ("alltoallv_async", send)
     return recv
 
 
-def exchange_finish(sched: GatherSchedule, xlocal: np.ndarray, pending: dict):
+def exchange_finish(
+    sched: GatherSchedule,
+    xlocal: np.ndarray,
+    pending: dict,
+    owner: str | None = None,
+):
     """Close a nonblocking exchange window and assemble the ghost array."""
+    _mark_window("comm.overlap.wait", sched, owner, pending=len(pending))
     yield ("commwait", None)
     return assemble_ghost(sched, xlocal, pending)

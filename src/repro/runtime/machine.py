@@ -168,6 +168,19 @@ class PhaseStats:
         """Modeled α–β communication seconds of the slowest rank."""
         return float(np.max(self.msgs * model.latency + self.nbytes * model.inv_bandwidth))
 
+    def rank_comm(self, model: CommModel) -> np.ndarray:
+        """Per-rank modeled α–β communication seconds of this superstep."""
+        return self.msgs * model.latency + self.nbytes * model.inv_bandwidth
+
+    def busy_time(self, model: CommModel) -> np.ndarray:
+        """Per-rank busy seconds: compute plus *charged* communication.
+
+        An overlapped superstep charges compute only — its wire time is in
+        flight under later compute (see ``RunStats.parallel_time``)."""
+        if self.overlapped:
+            return self.compute.copy()
+        return self.compute + self.rank_comm(model)
+
     def step_time(self, model: CommModel) -> float:
         """Estimated parallel duration of this superstep: slowest rank's
         compute plus its modeled communication."""
@@ -239,6 +252,123 @@ class RunStats:
         rank per superstep, no overlap credit — the raw wire cost)."""
         model = model or self.model or CommModel()
         return sum(p.comm_time(model) for p in self.phases)
+
+    def step_attribution(
+        self, model: CommModel | None = None
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Per-superstep durations and per-rank busy seconds under the
+        overlap fold of :meth:`parallel_time`.
+
+        Returns ``(durations, busy, drain)``: ``durations[k]`` is what
+        superstep k contributes to the estimated wall time (an overlapped
+        exchange contributes its compute only; the step that closes an
+        overlap window is stretched to cover any communication still in
+        flight), ``busy[k, p]`` is rank p's busy seconds in that step
+        (compute plus charged communication), and ``drain`` is trailing
+        in-flight communication no compute ever covered.  The fold
+        invariant: ``durations.sum() + drain == parallel_time(model)``.
+
+        ``durations[k] - busy[k, p]`` is rank p's *wait* in superstep k —
+        the per-step idle exposure the critical-path profiler consumes.
+        """
+        model = model or self.model or CommModel()
+        durations: list[float] = []
+        busy: list[np.ndarray] = []
+        in_flight = 0.0
+        for p in self.phases:
+            if p.overlapped:
+                durations.append(float(np.max(p.compute)))
+                busy.append(p.compute.copy())
+                in_flight = max(in_flight, p.comm_time(model))
+                continue
+            t = p.step_time(model)
+            if in_flight > 0.0:
+                t = max(t, in_flight)
+                in_flight = 0.0
+            durations.append(t)
+            busy.append(p.busy_time(model))
+        if not durations:
+            return np.zeros(0), np.zeros((0, self.nprocs)), in_flight
+        return np.asarray(durations), np.stack(busy), in_flight
+
+    def step_waits(self, model: CommModel | None = None) -> np.ndarray:
+        """Per-superstep, per-rank wait seconds (shape ``(S, P)``): how
+        long each rank sat idle in each superstep while the slowest rank
+        (or in-flight communication) finished."""
+        durations, busy, _drain = self.step_attribution(model)
+        if not len(durations):
+            return np.zeros((0, self.nprocs))
+        return durations[:, None] - busy
+
+    def total_wait(self, model: CommModel | None = None) -> np.ndarray:
+        """Per-rank idle seconds over the whole run, including the
+        trailing communication drain (charged to every rank — everyone is
+        waiting on the wire)."""
+        durations, busy, drain = self.step_attribution(model)
+        out = np.full(self.nprocs, drain)
+        if len(durations):
+            out += (durations[:, None] - busy).sum(axis=0)
+        return out
+
+    # ------------------------------------------------------------------
+    # serialization (the ``run_stats`` trace event)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form carrying everything the offline profiler needs
+        (per-superstep kinds, labels, per-rank compute/traffic, overlap
+        flags, the α–β model); ``comm_matrix`` data stays in its own trace
+        event."""
+        return {
+            "nprocs": self.nprocs,
+            "model": (
+                {
+                    "latency": self.model.latency,
+                    "inv_bandwidth": self.model.inv_bandwidth,
+                }
+                if self.model is not None
+                else None
+            ),
+            "phases": [
+                {
+                    "kind": p.kind,
+                    "label": p.label,
+                    "compute": p.compute.tolist(),
+                    "msgs": p.msgs.tolist(),
+                    "nbytes": p.nbytes.tolist(),
+                    "overlapped": bool(p.overlapped),
+                    "retries": None if p.retries is None else p.retries.tolist(),
+                }
+                for p in self.phases
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunStats":
+        """Rebuild from :meth:`to_dict` (e.g. a ``run_stats`` trace event)."""
+        model = None
+        if doc.get("model"):
+            model = CommModel(
+                latency=float(doc["model"]["latency"]),
+                inv_bandwidth=float(doc["model"]["inv_bandwidth"]),
+            )
+        out = cls(int(doc["nprocs"]), model=model)
+        for ph in doc.get("phases", []):
+            out.phases.append(
+                PhaseStats(
+                    kind=str(ph["kind"]),
+                    label=ph.get("label"),
+                    compute=np.asarray(ph["compute"], dtype=np.float64),
+                    msgs=np.asarray(ph["msgs"], dtype=np.int64),
+                    nbytes=np.asarray(ph["nbytes"], dtype=np.int64),
+                    overlapped=bool(ph.get("overlapped", False)),
+                    retries=(
+                        None
+                        if ph.get("retries") is None
+                        else np.asarray(ph["retries"], dtype=np.int64)
+                    ),
+                )
+            )
+        return out
 
     def comm_matrix(self) -> np.ndarray:
         """Rank×rank byte matrix over the whole run: entry [p, q] is what
@@ -504,194 +634,208 @@ class Machine:
                     nbytes=int(win_bytes[p]),
                 )
 
-        while not all(done):
-            requests: list = [None] * P
-            compute = np.zeros(P)
-            for p in range(P):
-                if done[p]:
-                    continue
-                t0 = time.perf_counter()
-                try:
-                    requests[p] = gens[p].send(inbox[p])
-                except StopIteration as stop:
-                    results[p] = stop.value
-                    done[p] = True
-                compute[p] = time.perf_counter() - t0
-                inbox[p] = None
-            win_compute += compute
-            if all(done):
-                if collect_stats:
-                    stats.phases.append(
-                        PhaseStats("finish", None, compute, np.zeros(P, np.int64), np.zeros(P, np.int64))
-                    )
-                break
-            alive = [p for p in range(P) if not done[p]]
-            if any(done[p] for p in range(P)):
-                raise RuntimeMachineError(
-                    "SPMD violation: some ranks finished while others are "
-                    "still communicating"
-                )
-            kinds = {requests[p][0] for p in alive}
-            if len(kinds) != 1:
-                raise RuntimeMachineError(
-                    f"SPMD violation: mismatched collectives {sorted(kinds)}"
-                )
-            kind = kinds.pop()
-            msgs = np.zeros(P, dtype=np.int64)
-            nbytes = np.zeros(P, dtype=np.int64)
-            bmat = np.zeros((P, P), dtype=np.int64) if collect_stats else None
-            retries = np.zeros(P, dtype=np.int64) if inj is not None else None
-            # modeled extra seconds this superstep: stalls + retry waits
-            extra = np.zeros(P) if inj is not None else None
-            label = None
-            if inj is not None and kind != "phase":
-                for p in alive:
-                    st = inj.stall_seconds(p, step_no)
-                    if st > 0.0:
-                        extra[p] += st
-                        inj.record("stall", step_no, src=p, dst=p)
-
-            if kind in ("alltoallv", "alltoallv_async"):
-                if inj is not None:
-                    self._faulty_alltoallv(
-                        alive, requests, inbox, step_no, msgs, nbytes, bmat, retries, extra
-                    )
-                else:
-                    recv: list[dict] = [dict() for _ in range(P)]
-                    for p in alive:
-                        send = requests[p][1] or {}
-                        for q, payload in send.items():
-                            if not (0 <= q < P):
-                                raise RuntimeMachineError(f"bad destination {q}")
-                            fragmented = isinstance(payload, Fragmented)
-                            recv[q][p] = (
-                                assemble_fragments(payload) if fragmented else payload
-                            )
-                            if q != p:
-                                # a fragmented payload costs one α per part
-                                msgs[p] += len(payload) if fragmented else 1
-                                nb = payload_nbytes(payload)
-                                nbytes[p] += nb
-                                if bmat is not None:
-                                    bmat[p, q] += nb
-                    for p in alive:
-                        inbox[p] = recv[p]
-                if kind == "alltoallv_async":
-                    # nonblocking: packets fly while the ranks compute their
-                    # interior rows; the matching "commwait" closes the window
-                    pending_comm = (msgs.copy(), nbytes.copy())
-            elif kind == "commwait":
-                for p in alive:
+        try:
+            while not all(done):
+                requests: list = [None] * P
+                compute = np.zeros(P)
+                for p in range(P):
+                    if done[p]:
+                        continue
+                    t0 = time.perf_counter()
+                    try:
+                        requests[p] = gens[p].send(inbox[p])
+                    except StopIteration as stop:
+                        results[p] = stop.value
+                        done[p] = True
+                    compute[p] = time.perf_counter() - t0
                     inbox[p] = None
-                if pending_comm is not None and _metrics.metrics_enabled():
-                    pm, pb = pending_comm
-                    hidden = float(
-                        np.max(pm * self.model.latency + pb * self.model.inv_bandwidth)
+                win_compute += compute
+                if all(done):
+                    if collect_stats:
+                        stats.phases.append(
+                            PhaseStats("finish", None, compute, np.zeros(P, np.int64), np.zeros(P, np.int64))
+                        )
+                    break
+                alive = [p for p in range(P) if not done[p]]
+                if any(done[p] for p in range(P)):
+                    raise RuntimeMachineError(
+                        "SPMD violation: some ranks finished while others are "
+                        "still communicating"
                     )
-                    if hidden > 0.0:
-                        _metrics.observe(
-                            "comm.overlap_ratio",
-                            min(hidden, float(compute.max())) / hidden,
-                        )
-                pending_comm = None
-            elif kind == "allreduce":
-                vals = [requests[p][1] for p in alive]
-                if inj is not None:
-                    # each contribution must survive delivery (ring model:
-                    # it travels to the next rank); corrupt/dropped
-                    # contributions are retransmitted, never reduced
+                kinds = {requests[p][0] for p in alive}
+                if len(kinds) != 1:
+                    raise RuntimeMachineError(
+                        f"SPMD violation: mismatched collectives {sorted(kinds)}"
+                    )
+                kind = kinds.pop()
+                msgs = np.zeros(P, dtype=np.int64)
+                nbytes = np.zeros(P, dtype=np.int64)
+                bmat = np.zeros((P, P), dtype=np.int64) if collect_stats else None
+                retries = np.zeros(P, dtype=np.int64) if inj is not None else None
+                # modeled extra seconds this superstep: stalls + retry waits
+                extra = np.zeros(P) if inj is not None else None
+                label = None
+                if inj is not None and kind != "phase":
                     for p in alive:
-                        self._deliver(
-                            p, (p + 1) % P, requests[p][1], step_no,
-                            msgs, nbytes, bmat, retries, extra,
-                        )
-                total = vals[0]
-                for v in vals[1:]:
-                    total = total + v
-                for p in alive:
-                    inbox[p] = total
-                    if inj is None:
-                        msgs[p] += 1
-                        nb = payload_nbytes(requests[p][1])
-                        nbytes[p] += nb
-                        if bmat is not None:
-                            # ring model: the reduction contribution travels
-                            # to the next rank (keeps matrix total == bytes)
-                            bmat[p, (p + 1) % P] += nb
-            elif kind == "allgather":
-                gathered = [requests[p][1] for p in alive]
-                for p in alive:
-                    inbox[p] = list(gathered)
+                        st = inj.stall_seconds(p, step_no)
+                        if st > 0.0:
+                            extra[p] += st
+                            inj.record("stall", step_no, src=p, dst=p)
+
+                if kind in ("alltoallv", "alltoallv_async"):
                     if inj is not None:
-                        # one faultable copy per peer
-                        for q in range(P):
-                            if q != p:
-                                self._deliver(
-                                    p, q, requests[p][1], step_no,
-                                    msgs, nbytes, bmat, retries, extra,
-                                )
+                        self._faulty_alltoallv(
+                            alive, requests, inbox, step_no, msgs, nbytes, bmat, retries, extra
+                        )
                     else:
-                        msgs[p] += P - 1
-                        nb = payload_nbytes(requests[p][1])
-                        nbytes[p] += nb * (P - 1)
-                        if bmat is not None:
+                        recv: list[dict] = [dict() for _ in range(P)]
+                        for p in alive:
+                            send = requests[p][1] or {}
+                            for q, payload in send.items():
+                                if not (0 <= q < P):
+                                    raise RuntimeMachineError(f"bad destination {q}")
+                                fragmented = isinstance(payload, Fragmented)
+                                recv[q][p] = (
+                                    assemble_fragments(payload) if fragmented else payload
+                                )
+                                if q != p:
+                                    # a fragmented payload costs one α per part
+                                    msgs[p] += len(payload) if fragmented else 1
+                                    nb = payload_nbytes(payload)
+                                    nbytes[p] += nb
+                                    if bmat is not None:
+                                        bmat[p, q] += nb
+                        for p in alive:
+                            inbox[p] = recv[p]
+                    if kind == "alltoallv_async":
+                        # nonblocking: packets fly while the ranks compute their
+                        # interior rows; the matching "commwait" closes the window
+                        pending_comm = (msgs.copy(), nbytes.copy())
+                elif kind == "commwait":
+                    for p in alive:
+                        inbox[p] = None
+                    if pending_comm is not None and _metrics.metrics_enabled():
+                        pm, pb = pending_comm
+                        hidden = float(
+                            np.max(pm * self.model.latency + pb * self.model.inv_bandwidth)
+                        )
+                        if hidden > 0.0:
+                            _metrics.observe(
+                                "comm.overlap_ratio",
+                                min(hidden, float(compute.max())) / hidden,
+                            )
+                    pending_comm = None
+                elif kind == "allreduce":
+                    vals = [requests[p][1] for p in alive]
+                    if inj is not None:
+                        # each contribution must survive delivery (ring model:
+                        # it travels to the next rank); corrupt/dropped
+                        # contributions are retransmitted, never reduced
+                        for p in alive:
+                            self._deliver(
+                                p, (p + 1) % P, requests[p][1], step_no,
+                                msgs, nbytes, bmat, retries, extra,
+                            )
+                    total = vals[0]
+                    for v in vals[1:]:
+                        total = total + v
+                    for p in alive:
+                        inbox[p] = total
+                        if inj is None:
+                            msgs[p] += 1
+                            nb = payload_nbytes(requests[p][1])
+                            nbytes[p] += nb
+                            if bmat is not None:
+                                # ring model: the reduction contribution travels
+                                # to the next rank (keeps matrix total == bytes)
+                                bmat[p, (p + 1) % P] += nb
+                elif kind == "allgather":
+                    gathered = [requests[p][1] for p in alive]
+                    for p in alive:
+                        inbox[p] = list(gathered)
+                        if inj is not None:
+                            # one faultable copy per peer
                             for q in range(P):
                                 if q != p:
-                                    bmat[p, q] += nb
-            elif kind == "barrier":
-                for p in alive:
-                    inbox[p] = None
-            elif kind == "phase":
-                labels = {requests[p][1] for p in alive}
-                if len(labels) != 1:
-                    raise RuntimeMachineError(
-                        f"SPMD violation: mismatched phase labels {labels}"
-                    )
-                label = labels.pop()
-                for p in alive:
-                    inbox[p] = None
-                _flush_window()
-                win_label = str(label)
-                win_start = tracer._now_us() if tracer is not None else 0.0
-                win_compute = np.zeros(P)
-                win_msgs = np.zeros(P, dtype=np.int64)
-                win_bytes = np.zeros(P, dtype=np.int64)
-            else:
-                raise RuntimeMachineError(f"unknown collective {kind!r}")
+                                    self._deliver(
+                                        p, q, requests[p][1], step_no,
+                                        msgs, nbytes, bmat, retries, extra,
+                                    )
+                        else:
+                            msgs[p] += P - 1
+                            nb = payload_nbytes(requests[p][1])
+                            nbytes[p] += nb * (P - 1)
+                            if bmat is not None:
+                                for q in range(P):
+                                    if q != p:
+                                        bmat[p, q] += nb
+                elif kind == "barrier":
+                    for p in alive:
+                        inbox[p] = None
+                elif kind == "phase":
+                    labels = {requests[p][1] for p in alive}
+                    if len(labels) != 1:
+                        raise RuntimeMachineError(
+                            f"SPMD violation: mismatched phase labels {labels}"
+                        )
+                    label = labels.pop()
+                    for p in alive:
+                        inbox[p] = None
+                    _flush_window()
+                    win_label = str(label)
+                    win_start = tracer._now_us() if tracer is not None else 0.0
+                    win_compute = np.zeros(P)
+                    win_msgs = np.zeros(P, dtype=np.int64)
+                    win_bytes = np.zeros(P, dtype=np.int64)
+                else:
+                    raise RuntimeMachineError(f"unknown collective {kind!r}")
 
-            win_msgs += msgs
-            win_bytes += nbytes
-            if inj is not None and extra.any():
-                compute = compute + extra
-                win_compute += extra
-            if _metrics.metrics_enabled() and kind != "phase":
-                _metrics.record("machine.collectives", 1, kind=kind)
-                _metrics.record("machine.msgs", int(msgs.sum()), kind=kind)
-                _metrics.record("machine.bytes", int(nbytes.sum()), kind=kind)
-                _metrics.observe(
-                    "machine.superstep_compute_seconds",
-                    float(compute.max()),
-                    phase=win_label,
-                )
-            if collect_stats:
-                stats.phases.append(
-                    PhaseStats(
-                        kind, label, compute, msgs, nbytes,
-                        bytes_matrix=bmat, retries=retries,
-                        overlapped=(kind == "alltoallv_async"),
+                win_msgs += msgs
+                win_bytes += nbytes
+                if inj is not None and extra.any():
+                    compute = compute + extra
+                    win_compute += extra
+                if _metrics.metrics_enabled() and kind != "phase":
+                    _metrics.record("machine.collectives", 1, kind=kind)
+                    _metrics.record("machine.msgs", int(msgs.sum()), kind=kind)
+                    _metrics.record("machine.bytes", int(nbytes.sum()), kind=kind)
+                    _metrics.observe(
+                        "machine.superstep_compute_seconds",
+                        float(compute.max()),
+                        phase=win_label,
                     )
+                if collect_stats:
+                    stats.phases.append(
+                        PhaseStats(
+                            kind, label, compute, msgs, nbytes,
+                            bytes_matrix=bmat, retries=retries,
+                            overlapped=(kind == "alltoallv_async"),
+                        )
+                    )
+                step_no += 1
+        except BaseException as exc:
+            # the trace must stay parseable when a solve dies mid-flight
+            # (e.g. CommFailureError after retry exhaustion): mark the
+            # abort, then let the finally block flush the open window
+            if tracer is not None:
+                tracer.instant(
+                    "machine.abort",
+                    tid="machine",
+                    step=step_no,
+                    error=f"{type(exc).__name__}: {exc}",
                 )
-            step_no += 1
-
-        if inj is not None:
-            stats.fault_events = inj.event_log()
-        _flush_window()
-        if tracer is not None and collect_stats:
-            tracer.instant(
-                "comm_matrix",
-                tid="machine",
-                nprocs=P,
-                matrix=stats.comm_matrix().tolist(),
-                total_bytes=stats.total_nbytes(),
-            )
+            raise
+        finally:
+            if inj is not None:
+                stats.fault_events = inj.event_log()
+            _flush_window()
+            if tracer is not None and collect_stats:
+                tracer.instant(
+                    "comm_matrix",
+                    tid="machine",
+                    nprocs=P,
+                    matrix=stats.comm_matrix().tolist(),
+                    total_bytes=stats.total_nbytes(),
+                )
+                tracer.instant("run_stats", tid="machine", **stats.to_dict())
         return results, stats

@@ -29,7 +29,7 @@ from repro.formats import (
     PermutedMatrix,
 )
 from repro.kernels.spmv import SPMV_SRC
-from repro.observability import disable_metrics, enable_metrics
+from repro.observability import metrics
 
 
 @pytest.fixture
@@ -152,8 +152,11 @@ def test_sparsity_predicates_reach_the_key(coo):
 
 
 def test_metrics_counters_mirror_hits_and_misses(coo):
-    registry = enable_metrics(fresh=True)
-    try:
+    # hermetic on both global stores: a fresh scoped registry (no counter
+    # bleed between tests) and a cleared kernel cache (the first compile
+    # below must really be a miss, whatever ran before us)
+    clear_kernel_cache()
+    with metrics.scoped() as registry:
         fmts = _spmv_args(CRSMatrix.from_coo(coo))
         compile_kernel(SPMV_SRC, fmts, backend="vectorized")
         compile_kernel(SPMV_SRC, fmts, backend="vectorized")
@@ -164,8 +167,6 @@ def test_metrics_counters_mirror_hits_and_misses(coo):
         assert snap["compiler.cache_misses{backend=interpreted}"] == 1
         assert "compiler.cache_hits{backend=interpreted}" not in snap
         assert snap["compiler.compilations"] == 2
-    finally:
-        disable_metrics()
 
 
 def test_clear_resets_entries_and_stats(coo):

@@ -1,0 +1,171 @@
+"""Benchmark trajectory tracking: records, history, diffs, the gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability.bench_track import (
+    BenchHistory,
+    BenchRecord,
+    config_fingerprint,
+    evaluate_gate,
+    render_gate,
+)
+
+
+def _rec(value, bench="b", direction="lower", config=None):
+    return BenchRecord(
+        bench=bench,
+        value=value,
+        direction=direction,
+        config=config if config is not None else {"P": 4},
+        git_rev="deadbeef",
+        timestamp=1000.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+def test_fingerprint_is_stable_and_config_sensitive():
+    a = config_fingerprint({"P": 4, "niter": 10})
+    b = config_fingerprint({"niter": 10, "P": 4})  # key order irrelevant
+    c = config_fingerprint({"P": 8, "niter": 10})
+    assert a == b
+    assert a != c
+    assert len(a) == 12
+
+
+def test_record_fills_fingerprint_and_roundtrips():
+    r = _rec(1.5)
+    assert r.fingerprint == config_fingerprint({"P": 4})
+    assert BenchRecord.from_dict(json.loads(json.dumps(r.to_dict()))).value == 1.5
+
+
+def test_record_validation():
+    with pytest.raises(ObservabilityError, match="direction"):
+        _rec(1.0, direction="sideways")
+    with pytest.raises(ObservabilityError, match="finite"):
+        _rec(float("nan"))
+
+
+def test_regression_pct_is_direction_aware():
+    # lower-is-better: going 1.0 -> 1.2 is a +20% regression
+    assert _rec(1.2).regression_pct(1.0) == pytest.approx(20.0)
+    # higher-is-better: going 1.0 -> 0.8 is a +20% regression
+    assert _rec(0.8, direction="higher").regression_pct(1.0) == pytest.approx(20.0)
+    # improvements are negative either way
+    assert _rec(0.9).regression_pct(1.0) < 0
+    assert _rec(1.1, direction="higher").regression_pct(1.0) < 0
+
+
+# ----------------------------------------------------------------------
+# history
+# ----------------------------------------------------------------------
+def test_append_stamps_deltas_and_persists(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    h = BenchHistory(path)
+    first = h.append(_rec(1.0))
+    assert first.delta_vs_best_pct is None  # nothing before it
+    second = h.append(_rec(1.1))
+    assert second.delta_vs_best_pct == pytest.approx(10.0)
+    assert second.delta_vs_last_pct == pytest.approx(10.0)
+    third = h.append(_rec(1.05))
+    assert third.delta_vs_best_pct == pytest.approx(5.0)  # best is still 1.0
+    assert third.delta_vs_last_pct == pytest.approx(-4.5454, rel=1e-3)
+    # a fresh load sees all three, in order, with deltas preserved
+    h2 = BenchHistory(path)
+    assert [r.value for r in h2.records] == [1.0, 1.1, 1.05]
+    assert h2.records[1].delta_vs_best_pct == pytest.approx(10.0)
+
+
+def test_series_are_separated_by_bench_and_fingerprint(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    h = BenchHistory(path)
+    h.append(_rec(1.0, bench="a"))
+    h.append(_rec(5.0, bench="b"))
+    h.append(_rec(9.0, bench="a", config={"P": 8}))  # different fingerprint
+    r = h.append(_rec(2.0, bench="a"))
+    # only the first record shares (bench, fingerprint): diff is vs 1.0
+    assert r.delta_vs_best_pct == pytest.approx(100.0)
+    assert h.best("b", r.fingerprint).value == 5.0  # bench b has its own series
+    assert h.best("nosuch", r.fingerprint) is None
+
+
+def test_best_respects_direction(tmp_path):
+    h = BenchHistory(str(tmp_path / "h.jsonl"))
+    h.append(_rec(2.0, direction="higher"))
+    h.append(_rec(3.0, direction="higher"))
+    h.append(_rec(2.5, direction="higher"))
+    best = h.best("b", h.records[0].fingerprint)
+    assert best.value == 3.0
+
+
+def test_corrupt_lines_are_skipped_not_fatal(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    good = _rec(1.0).to_dict()
+    path.write_text(
+        json.dumps(good) + "\n" + "{truncated by a killed CI jo\n" + "\n"
+    )
+    h = BenchHistory(str(path))
+    assert len(h.records) == 1
+    assert h.skipped_lines == 1
+    # and appending after a corrupt line still works
+    h.append(_rec(1.2))
+    assert BenchHistory(str(path)).records[-1].value == 1.2
+
+
+# ----------------------------------------------------------------------
+# gate
+# ----------------------------------------------------------------------
+def _gated(values, threshold, direction="lower", against="best", tmp_path=None):
+    h = BenchHistory(str(tmp_path / "g.jsonl"))
+    for v in values:
+        rec = h.append(_rec(v, direction=direction))
+    return evaluate_gate(rec, h, threshold_pct=threshold, against=against)
+
+
+def test_first_record_passes(tmp_path):
+    g = _gated([1.0], 10, tmp_path=tmp_path)
+    assert g.passed and g.exit_code == 0 and g.baseline is None
+    assert "first record" in render_gate(g)
+
+
+def test_gate_fails_on_regression_beyond_threshold(tmp_path):
+    g = _gated([1.0, 1.5], 25, tmp_path=tmp_path)
+    assert not g.passed and g.exit_code == 1
+    assert g.regression_pct == pytest.approx(50.0)
+    assert "FAIL" in render_gate(g)
+
+
+def test_gate_passes_within_threshold(tmp_path):
+    g = _gated([1.0, 1.2], 25, tmp_path=tmp_path)
+    assert g.passed and g.exit_code == 0
+    assert "PASS" in render_gate(g)
+
+
+def test_gate_against_last_vs_best(tmp_path):
+    # history: fast, then slow; the new run matches the slow one.
+    # vs best (1.0) it's +50%; vs last (1.5) it's 0%.
+    vals = [1.0, 1.5, 1.5]
+    g_best = _gated(vals, 25, against="best", tmp_path=tmp_path)
+    assert not g_best.passed
+    h = BenchHistory(str(tmp_path / "g.jsonl"))
+    g_last = evaluate_gate(h.records[-1], h, threshold_pct=25, against="last")
+    assert g_last.passed
+    assert g_last.regression_pct == pytest.approx(0.0)
+
+
+def test_gate_is_direction_aware(tmp_path):
+    # higher-is-better series that halves: that's a 50% regression
+    g = _gated([10.0, 5.0], 25, direction="higher", tmp_path=tmp_path)
+    assert not g.passed
+    assert g.regression_pct == pytest.approx(50.0)
+
+
+def test_gate_rejects_bad_baseline_kind(tmp_path):
+    h = BenchHistory(str(tmp_path / "g.jsonl"))
+    rec = h.append(_rec(1.0))
+    with pytest.raises(ObservabilityError, match="best.*last"):
+        evaluate_gate(rec, h, threshold_pct=10, against="median")

@@ -99,3 +99,52 @@ def test_kernel_call_records_counters():
     bound = k.bind(A=A, X=X, Y=Y)
     bound()
     assert REGISTRY.snapshot()["kernel.flops"] == 2.0 * A.nnz
+
+
+def test_explain_works_on_plan_cache_hit():
+    """Satellite: a warm PlanCache must hand back a kernel explain() can
+    still narrate — the cached object carries its plan rationale, it is
+    not a stripped fast path."""
+    from repro.compiler import clear_kernel_cache, kernel_cache_stats
+
+    clear_kernel_cache()
+    k_cold, A, X, Y = _table1_crs_kernel()
+    k_warm, *_ = _table1_crs_kernel()  # identical request: cache hit
+    stats = kernel_cache_stats()
+    assert stats["hits"] >= 1 and k_warm is k_cold
+    text_cold = explain(k_cold)
+    text_warm = explain(k_warm)
+    assert text_warm == text_cold
+    assert "driver: A (CRSMatrix)" in text_warm
+    assert "driver=A: chosen" in text_warm  # rationale survived the cache
+
+
+def test_cg_solve_explains_on_warm_schedule_cache():
+    """Satellite: the ScheduleCache warm path (inspection skipped) still
+    leaves the executor's compiled kernels explainable, and the warm
+    solve's explain output matches the cold one's."""
+    from repro.runtime.schedule_cache import ScheduleCache
+    from repro.solvers.cg import parallel_cg
+
+    rng = np.random.default_rng(2)
+    n = 24
+    dense = np.eye(n) * 4.0
+    for i in range(n - 1):
+        dense[i, i + 1] = dense[i + 1, i] = -1.0
+    coo = COOMatrix.from_dense(dense)
+    b = rng.standard_normal(n)
+
+    cache = ScheduleCache()
+    texts = []
+    for _ in range(2):  # cold, then warm
+        res = parallel_cg(coo, b, nprocs=2, niter=3, schedule_cache=cache)
+        assert res.stats is not None
+        # compiling the same mixed-variant spec the solver used must
+        # still produce a narratable plan after the warm solve
+        A = CRSMatrix.from_coo(coo)
+        X = DenseVector(np.ones(n))
+        Y = DenseVector.zeros(n)
+        texts.append(explain(SPMV_SRC, formats={"A": A, "X": X, "Y": Y}))
+    assert cache.stats.hits > 0, "second solve did not hit the schedule cache"
+    assert texts[0] == texts[1]
+    assert "driver: A" in texts[1]

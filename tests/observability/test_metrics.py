@@ -140,3 +140,92 @@ def test_instrument_dataclasses_standalone():
     assert c.value == 1
     h = Histogram("y")
     assert h.mean == 0.0  # no observations yet
+
+
+# ----------------------------------------------------------------------
+# percentiles
+# ----------------------------------------------------------------------
+def test_histogram_percentiles_exact_on_small_samples():
+    h = Histogram("lat")
+    for v in range(1, 101):  # 1..100, uniform
+        h.observe(float(v))
+    assert h.p50 == pytest.approx(50.5)
+    assert h.p95 == pytest.approx(95.05)
+    assert h.p99 == pytest.approx(99.01)
+    assert h.percentile(0) == 1.0
+    assert h.percentile(100) == 100.0
+
+
+def test_histogram_percentiles_empty_and_single():
+    h = Histogram("lat")
+    assert h.p50 is None and h.p95 is None and h.p99 is None
+    h.observe(7.0)
+    assert h.p50 == 7.0 and h.p99 == 7.0
+
+
+def test_histogram_sampling_stays_bounded_and_accurate():
+    from repro.observability.metrics import _SAMPLE_CAP
+
+    h = Histogram("big")
+    n = 3 * _SAMPLE_CAP  # forces at least one decimation
+    for v in range(n):
+        h.observe(float(v))
+    assert len(h._samples) < _SAMPLE_CAP
+    assert h.count == n
+    # systematic sampling of a uniform stream: quantiles stay close
+    assert h.p50 == pytest.approx(0.50 * n, rel=0.02)
+    assert h.p95 == pytest.approx(0.95 * n, rel=0.02)
+    assert h.p99 == pytest.approx(0.99 * n, rel=0.02)
+
+
+def test_percentiles_in_snapshot_and_render():
+    h = REGISTRY.histogram("comm.overlap_ratio")
+    for v in (0.1, 0.5, 0.9):
+        h.observe(v)
+    snap = REGISTRY.snapshot()["comm.overlap_ratio"]
+    assert snap["p50"] == pytest.approx(0.5)
+    assert snap["p95"] == pytest.approx(0.86, rel=0.05)
+    assert "p50=" in REGISTRY.render() and "p99=" in REGISTRY.render()
+
+
+# ----------------------------------------------------------------------
+# scoped()
+# ----------------------------------------------------------------------
+def test_scoped_isolates_and_restores():
+    enable_metrics(fresh=True)
+    record("outer.count", 1)
+    with metrics.scoped() as reg:
+        record("inner.count", 2)
+        assert reg.snapshot() == {"inner.count": 2}
+        # the outer registry is invisible inside the scope
+        assert "outer.count" not in metrics.REGISTRY.snapshot()
+    # outer state restored: counter intact, inner one gone
+    assert metrics.REGISTRY.snapshot()["outer.count"] == 1
+    assert "inner.count" not in metrics.REGISTRY.snapshot()
+    assert metrics_enabled()
+
+
+def test_scoped_restores_disabled_state():
+    assert not metrics_enabled()
+    with metrics.scoped() as reg:
+        assert metrics_enabled()  # enabled inside by default
+        record("x", 1)
+        assert reg.snapshot()["x"] == 1
+    assert not metrics_enabled()  # back off afterwards
+    record("y", 1)  # no-op again
+    assert "y" not in metrics.REGISTRY.snapshot()
+
+
+def test_scoped_restores_on_error():
+    with pytest.raises(RuntimeError, match="boom"):
+        with metrics.scoped():
+            record("z", 1)
+            raise RuntimeError("boom")
+    assert not metrics_enabled()
+    assert "z" not in metrics.REGISTRY.snapshot()
+
+
+def test_scoped_can_stay_disabled():
+    with metrics.scoped(enabled=False) as reg:
+        record("w", 1)
+        assert reg.snapshot() == {}

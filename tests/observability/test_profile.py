@@ -1,0 +1,219 @@
+"""Critical-path profiler and cost-model audit (repro.observability.profile).
+
+The load-bearing invariants:
+
+* the critical-path total equals ``RunStats.parallel_time`` (the
+  acceptance bound is 1%; the construction makes it exact up to float
+  summation order),
+* per rank, compute + charged comm + wait == parallel time (every second
+  is attributed exactly once),
+* the analysis is identical on a ``RunStats`` rebuilt from the
+  ``run_stats`` trace event — the offline report path,
+* the cost-model audit's least-squares fit recovers the model the run
+  was folded under (the fold *is* α+β·n, so R² must be ~1).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CommFailureError
+from repro.formats import COOMatrix
+from repro.observability.profile import (
+    audit_cost_model,
+    profile_run,
+    render_attribution,
+    render_cost_audit,
+    render_critical_path,
+    render_flamegraph,
+    render_timeline,
+)
+from repro.observability.trace import Tracer, disable_tracing, enable_tracing
+from repro.runtime import DeliveryConfig, FaultPlan, Machine
+from repro.runtime.machine import CommModel, RunStats
+from repro.solvers.cg import parallel_cg
+
+MODEL = CommModel(latency=1.2e-3, inv_bandwidth=7.5e-7)
+
+
+def _tridiag(n=48):
+    A = np.eye(n) * 4.0
+    for i in range(n - 1):
+        A[i, i + 1] = A[i + 1, i] = -1.0
+    return COOMatrix.from_dense(A)
+
+
+@pytest.fixture(scope="module")
+def cg_stats():
+    """One 4-rank overlapped CG run, profiled by most tests here."""
+    rng = np.random.default_rng(3)
+    coo = _tridiag()
+    b = rng.standard_normal(coo.shape[0])
+    res = parallel_cg(coo, b, nprocs=4, niter=10, overlap=True, model=MODEL)
+    return res.stats
+
+
+def test_critical_path_total_matches_parallel_time(cg_stats):
+    result = profile_run(cg_stats)
+    T = cg_stats.parallel_time(MODEL)
+    assert result.parallel_time == pytest.approx(T)
+    # the acceptance bound is 1%; the fold mirror makes it essentially 0
+    assert result.critical_path_total == pytest.approx(T, rel=1e-9)
+
+
+def test_every_second_is_attributed_once_per_rank(cg_stats):
+    result = profile_run(cg_stats)
+    assert len(result.ranks) == 4
+    for r in result.ranks:
+        assert r.compute >= 0 and r.comm >= 0 and r.wait >= -1e-12
+        assert r.compute + r.comm + r.wait == pytest.approx(
+            result.parallel_time, rel=1e-9
+        )
+    # the overlapped run posted nonblocking exchanges: hidden comm exists
+    assert sum(r.hidden_comm for r in result.ranks) > 0
+
+
+def test_segments_name_the_gating_rank(cg_stats):
+    result = profile_run(cg_stats)
+    busiest = max(result.ranks, key=lambda r: r.compute).rank
+    gating = [s.rank for s in result.segments if s.rank >= 0]
+    # the compute-heaviest rank must gate at least one superstep
+    assert busiest in gating
+    for s in result.segments:
+        assert s.seconds >= 0
+        assert s.category in ("compute", "comm", "overlap", "drain")
+    # top_segments is sorted descending
+    tops = result.top_segments(5)
+    assert all(a.seconds >= b.seconds for a, b in zip(tops, tops[1:]))
+
+
+def test_imbalance_index(cg_stats):
+    result = profile_run(cg_stats)
+    # whole-run index present, >= 1 by construction (max/mean)
+    assert result.imbalance[None] >= 1.0
+    assert "inspector" in result.imbalance and "executor" in result.imbalance
+    # a perfectly balanced synthetic run scores exactly 1
+    flat = RunStats(2, model=MODEL)
+    from repro.runtime.machine import PhaseStats
+
+    flat.phases.append(
+        PhaseStats(
+            kind="barrier",
+            label=None,
+            compute=np.array([1.0, 1.0]),
+            msgs=np.zeros(2, dtype=np.int64),
+            nbytes=np.zeros(2, dtype=np.int64),
+        )
+    )
+    assert profile_run(flat).imbalance[None] == pytest.approx(1.0)
+
+
+def test_offline_roundtrip_matches_live(cg_stats):
+    rebuilt = RunStats.from_dict(json.loads(json.dumps(cg_stats.to_dict())))
+    live, off = profile_run(cg_stats), profile_run(rebuilt)
+    assert off.critical_path_total == pytest.approx(live.critical_path_total)
+    assert [s.rank for s in off.segments] == [s.rank for s in live.segments]
+    for a, b in zip(off.ranks, live.ranks):
+        assert a.compute == pytest.approx(b.compute)
+        assert a.wait == pytest.approx(b.wait)
+
+
+def test_renderers_produce_text(cg_stats):
+    result = profile_run(cg_stats)
+    att = render_attribution(result)
+    assert "rank" in att and "idle" in att and "load imbalance" in att
+    cp = render_critical_path(result, top=3)
+    assert cp.count("\n") == 3  # header + 3 rows
+    tl = render_timeline(cg_stats)
+    assert "rank0" in tl and "rank3" in tl and "timeline key" in tl
+    # long runs elide the middle instead of overflowing the terminal
+    tl_small = render_timeline(cg_stats, max_steps=10)
+    assert "…" in tl_small
+
+
+def test_empty_run_profiles_cleanly():
+    result = profile_run(RunStats(2, model=MODEL))
+    assert result.critical_path_total == 0.0
+    assert result.parallel_time == 0.0
+    assert render_attribution(result)  # no division by zero
+
+
+def test_audit_fit_recovers_the_reference_model(cg_stats):
+    audit = audit_cost_model(cg_stats, candidate=CommModel())
+    # the fold is exactly α+β·n of the slowest rank: the fit must recover it
+    assert audit.fitted_latency == pytest.approx(MODEL.latency, rel=1e-6)
+    assert audit.fitted_inv_bandwidth == pytest.approx(
+        MODEL.inv_bandwidth, rel=1e-6
+    )
+    assert audit.fit_r2 == pytest.approx(1.0, abs=1e-9)
+    # per-phase error: the uncalibrated candidate underpredicts both phases
+    assert {p.label for p in audit.phases} >= {"inspector", "executor"}
+    for p in audit.phases:
+        assert p.reference_seconds > 0
+        assert p.error_pct < 0
+    # overlap accounting: posted splits into hidden + exposed
+    assert audit.posted_seconds > 0
+    assert audit.hidden_seconds + audit.exposed_seconds == pytest.approx(
+        audit.posted_seconds, rel=1e-9
+    )
+    txt = render_cost_audit(audit)
+    assert "least-squares" in txt and "overlap fold" in txt
+
+
+def test_audit_of_the_runs_own_model_has_zero_error(cg_stats):
+    audit = audit_cost_model(cg_stats, candidate=MODEL)
+    for p in audit.phases:
+        assert p.error_pct == pytest.approx(0.0, abs=1e-9)
+
+
+def test_abort_mid_solve_still_yields_parseable_trace_with_stats():
+    """Satellite: a CommFailureError mid-run must not leak open spans —
+    the Chrome trace stays parseable and still carries run_stats, the
+    comm matrix, and a machine.abort marker."""
+    plan = FaultPlan(seed=8, drop=1.0)
+    m = Machine(2, faults=plan, delivery=DeliveryConfig(max_retries=2))
+
+    def prog(p):
+        yield ("phase", "executor")
+        yield ("alltoallv", {1 - p: np.ones(4)})
+        return p
+
+    tracer = enable_tracing()
+    try:
+        with pytest.raises(CommFailureError):
+            m.run(prog)
+    finally:
+        disable_tracing()
+    doc = json.loads(json.dumps(tracer.to_chrome()))  # parseable JSON
+    reloaded = Tracer.from_chrome(doc)
+    names = [r.name for r in reloaded.records]
+    assert "machine.abort" in names
+    assert "run_stats" in names
+    assert "comm_matrix" in names
+    abort = next(r for r in reloaded.records if r.name == "machine.abort")
+    assert "CommFailureError" in abort.error
+    # rank windows were flushed despite the unwind: complete spans exist
+    assert any(r.dur is not None and r.name.startswith("rank") for r in reloaded.records)
+    # and the embedded stats replay into a working profile
+    stats_ev = next(r for r in reloaded.records if r.name == "run_stats")
+    stats = RunStats.from_dict(stats_ev.args)
+    assert profile_run(stats).parallel_time >= 0.0
+
+
+def test_flamegraph_renders_loaded_traces():
+    tracer = enable_tracing()
+    try:
+        from repro.observability.trace import span
+
+        with span("outer"):
+            with span("inner"):
+                pass
+    finally:
+        disable_tracing()
+    reloaded = Tracer.from_chrome(tracer.to_chrome())
+    txt = render_flamegraph(reloaded)
+    assert "outer" in txt and "inner" in txt and "█" in txt
+    # nesting recomputed from timestamps: inner is indented under outer
+    inner_line = next(l for l in txt.splitlines() if "inner" in l)
+    assert inner_line.startswith("  ")

@@ -10,13 +10,7 @@ comparison is over event-name sequences, not timestamps.
 import numpy as np
 import pytest
 
-from repro.observability import (
-    REGISTRY,
-    disable_metrics,
-    disable_tracing,
-    enable_metrics,
-    enable_tracing,
-)
+from repro.observability import disable_tracing, enable_tracing, metrics
 from repro.runtime import FaultPlan
 from tests.simulation.harness import (
     GENEROUS,
@@ -114,14 +108,13 @@ def test_trace_event_sequence_is_deterministic():
 
 def test_fault_and_retry_metrics_are_recorded():
     coo, dist, x = _case(2)
-    enable_metrics(fresh=True)
-    try:
+    # scoped: counters recorded by other tests cannot leak into this
+    # snapshot, and this run's counters do not clobber the global registry
+    with metrics.scoped() as registry:
         _, stats = run_parallel_spmv(
             coo, dist, "mixed", x, faults=NOISY, delivery=GENEROUS
         )
-        snap = REGISTRY.snapshot()
-    finally:
-        disable_metrics()
+        snap = registry.snapshot()
     fault_counters = {k: v for k, v in snap.items() if k.startswith("runtime.faults")}
     assert fault_counters, f"no runtime.faults counters in {sorted(snap)}"
     assert sum(fault_counters.values()) == len(stats.fault_events)
