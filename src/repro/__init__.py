@@ -27,7 +27,14 @@ See README.md for the architecture and DESIGN.md / EXPERIMENTS.md for the
 paper-reproduction map.
 """
 
-from repro.compiler import CompiledKernel, compile_kernel, parse
+from repro.compiler import (
+    AutoPlan,
+    CompiledKernel,
+    autoplan,
+    autoplan_spmv,
+    compile_kernel,
+    parse,
+)
 from repro.formats import (
     BlockDiagonalMatrix,
     BlockSolveMatrix,
@@ -100,6 +107,9 @@ __all__ = [
     "compile_kernel",
     "CompiledKernel",
     "parse",
+    "AutoPlan",
+    "autoplan",
+    "autoplan_spmv",
     # formats
     "Format",
     "COOMatrix",

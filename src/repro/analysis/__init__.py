@@ -1,6 +1,6 @@
 """Static analysis & verification for the Bernoulli pipeline.
 
-Four passes over the artifacts the compiler and runtime otherwise take
+Five passes over the artifacts the compiler and runtime otherwise take
 on faith, each reporting :class:`~repro.analysis.diagnostics.Diagnostic`
 findings with stable ``BER0xx`` codes:
 
@@ -11,6 +11,9 @@ findings with stable ``BER0xx`` codes:
   kernels structurally sane?
 * :mod:`repro.analysis.schedule` — are the SPMD communication schedules
   deadlock-free before any rank executes?
+* :mod:`repro.analysis.structure` — does the chosen storage format match
+  the matrix's detected sparsity structure (and does the auto-planner
+  pick a defensible one)?
 
 ``python -m repro.analysis`` runs them from the command line; the DOANY
 checker also runs inside :func:`~repro.compiler.compile_kernel` (the
@@ -29,7 +32,7 @@ from repro.analysis.diagnostics import (
 from repro.analysis.registry import AnalysisPass, all_passes, get_pass, register_pass
 
 # importing the pass modules registers their sweep runners
-from repro.analysis import contracts, doany, lint, schedule  # noqa: E402,F401
+from repro.analysis import contracts, doany, lint, schedule, structure  # noqa: E402,F401
 from repro.analysis.contracts import audit_format, audit_registered_formats
 from repro.analysis.doany import check_program, check_source
 from repro.analysis.lint import lint_generated_source, lint_kernel, lint_plan
@@ -38,6 +41,11 @@ from repro.analysis.schedule import (
     check_spmv_strategies,
     trace_collectives,
     verify_rebuilt_schedule,
+)
+from repro.analysis.structure import (
+    StructureProfile,
+    analyze_structure,
+    audit_format_choice,
 )
 
 __all__ = [
@@ -62,4 +70,7 @@ __all__ = [
     "check_spmv_strategies",
     "trace_collectives",
     "verify_rebuilt_schedule",
+    "StructureProfile",
+    "analyze_structure",
+    "audit_format_choice",
 ]

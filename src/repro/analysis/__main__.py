@@ -2,8 +2,12 @@
 
 Examples::
 
-    # everything: registered sweep passes (doany, contracts, lint, schedule)
+    # everything: registered sweep passes (doany, contracts, lint,
+    # schedule, structure)
     python -m repro.analysis --all
+
+    # sparsity-structure profile + auto-format recommendation for a file
+    python -m repro.analysis --structure matrix.mtx
 
     # audit every registered format's access-method contracts
     python -m repro.analysis --all-formats
@@ -116,6 +120,38 @@ def _check_kernel_file(path: Path) -> DiagnosticReport:
     return report
 
 
+def _analyze_structure_file(path: Path) -> DiagnosticReport:
+    """Structure-analyze one MatrixMarket file: BER050 profile info, the
+    auto-planner's pick, and any audit findings against that pick."""
+    from repro.analysis.structure import audit_format_choice, profile_diagnostic
+    from repro.analysis.structure import analyze_structure
+    from repro.compiler.autoplan import autoplan
+    from repro.errors import FormatError
+    from repro.matrices.mmio import read_matrix_market
+
+    report = DiagnosticReport()
+    try:
+        coo = read_matrix_market(str(path))
+    except (OSError, FormatError, ReproError) as e:
+        report.add(
+            Diagnostic(
+                "BER001",
+                ERROR,
+                f"cannot read MatrixMarket file: {e}",
+                pass_name="structure",
+                location=str(path),
+            )
+        )
+        return report
+    profile = analyze_structure(coo)
+    plan = autoplan(coo, profile=profile)
+    report.add(
+        profile_diagnostic(profile, where=str(path), recommend=plan.format_name)
+    )
+    report.extend(audit_format_choice(profile, plan.format_name, where=str(path)))
+    return report
+
+
 def _discover_kernels(paths) -> list[Path]:
     found: list[Path] = []
     for raw in paths:
@@ -153,6 +189,15 @@ def main(argv=None) -> int:
         help="dependence-check + lint *.loop kernel files (dirs recurse)",
     )
     ap.add_argument(
+        "--structure",
+        nargs="+",
+        default=None,
+        metavar="MTX",
+        help="analyze the sparsity structure of MatrixMarket file(s): "
+        "emit the BER05x profile, the auto-planner's format choice, and "
+        "any profile/format-mismatch findings",
+    )
+    ap.add_argument(
         "--list", action="store_true", help="list registered passes and exit"
     )
     ap.add_argument(
@@ -177,17 +222,25 @@ def main(argv=None) -> int:
 
     report = DiagnosticReport()
     ran = False
-    selected: list[str] = []
-    if args.all:
-        selected = list(passes)
-    elif args.passes:
-        selected = [s.strip() for s in args.passes.split(",") if s.strip()]
-    if args.all_formats and "contracts" not in selected:
-        selected.append("contracts")
-    for name in selected:
+    # validate every explicitly named pass BEFORE running anything, and
+    # merge with --all instead of ignoring one of the two: an unknown
+    # name must be a hard usage error, never a silent skip
+    named = (
+        [s.strip() for s in args.passes.split(",") if s.strip()]
+        if args.passes
+        else []
+    )
+    for name in named:
         if name not in passes:
             ap.error(f"unknown pass {name!r}; known: {sorted(passes)}")
+    selected = list(passes) if args.all else []
+    selected.extend(n for n in named if n not in selected)
+    if args.all_formats and "contracts" not in selected:
+        selected.append("contracts")
+    executed: list[str] = []
+    for name in selected:
         report.extend(passes[name].run())
+        executed.append(name)
         ran = True
     if args.kernels:
         files = _discover_kernels(args.kernels)
@@ -195,16 +248,25 @@ def main(argv=None) -> int:
             ap.error(f"no kernel files found under {args.kernels}")
         for path in files:
             report.extend(_check_kernel_file(path))
+        executed.append("kernels")
+        ran = True
+    if args.structure:
+        for path in args.structure:
+            report.extend(_analyze_structure_file(Path(path)))
+        executed.append("structure-files")
         ran = True
     if not ran:
-        ap.error("nothing to do: pass --all, --passes, --all-formats or --kernels")
+        ap.error(
+            "nothing to do: pass --all, --passes, --all-formats, "
+            "--kernels or --structure"
+        )
 
     rendered = report.render(args.min_severity)
     if rendered != "no diagnostics":
         print(rendered)
     print(report.summary())
     if args.json:
-        payload = report.to_json()
+        payload = report.to_json(passes=executed)
         if args.json == "-":
             print(payload)
         else:

@@ -15,6 +15,7 @@ BER010-014 DOANY dependence checker (:mod:`repro.analysis.doany`)
 BER020-028 format-contract auditor (:mod:`repro.analysis.contracts`)
 BER030-034 plan & generated-code linter (:mod:`repro.analysis.lint`)
 BER040-045 SPMD schedule checker (:mod:`repro.analysis.schedule`)
+BER050-055 sparsity-structure analyzer (:mod:`repro.analysis.structure`)
 =========  ==========================================================
 """
 
@@ -149,15 +150,18 @@ class DiagnosticReport:
             f"warning(s), {len(self.infos())} info"
         )
 
-    def to_json(self, indent: int | None = 2) -> str:
-        return json.dumps(
-            {
-                "summary": {
-                    "errors": len(self.errors()),
-                    "warnings": len(self.warnings()),
-                    "infos": len(self.infos()),
-                },
-                "diagnostics": [d.to_dict() for d in self.diagnostics],
+    def to_json(self, indent: int | None = 2, passes=None) -> str:
+        """JSON payload; ``passes`` lists the pass names that produced
+        this report (CI consumers need to tell "pass ran clean" apart
+        from "pass never ran")."""
+        doc = {
+            "summary": {
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "infos": len(self.infos()),
             },
-            indent=indent,
-        )
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        if passes is not None:
+            doc["passes"] = list(passes)
+        return json.dumps(doc, indent=indent)

@@ -55,6 +55,12 @@ from repro.compiler.kernels import (
     clear_kernel_cache,
     kernel_cache_stats,
 )
+from repro.compiler.autoplan import (
+    AutoPlan,
+    CostModel,
+    autoplan,
+    autoplan_spmv,
+)
 
 __all__ = [
     "parse",
@@ -80,4 +86,8 @@ __all__ = [
     "compile_kernel",
     "clear_kernel_cache",
     "kernel_cache_stats",
+    "AutoPlan",
+    "CostModel",
+    "autoplan",
+    "autoplan_spmv",
 ]

@@ -337,6 +337,7 @@ def compile_kernel(
     cache: bool = True,
     backend: str | ExecutorBackend | None = None,
     verify: str = "error",
+    extra_key: tuple = (),
 ) -> CompiledKernel:
     """Compile a dense DOANY loop nest against concrete storage formats.
 
@@ -363,6 +364,11 @@ def compile_kernel(
         :class:`~repro.errors.VerificationError` when the nest is not
         provably iteration-independent, ``"warn"`` downgrades findings
         to a Python warning, ``"off"`` skips the check.
+    extra_key:
+        Extra cache-key components (hashable tuple).  Used by the
+        auto-planner to join the structure-profile fingerprint to the
+        key so equal-shape matrices with different structure never share
+        an auto-planned kernel.
     """
     be = resolve_backend(backend, vectorize)
     if verify not in ("off", "warn", "error"):
@@ -399,7 +405,9 @@ def compile_kernel(
                 )
         key = None
         if cache:
-            key = kernel_cache_key(program, formats, be.name, force_driver, allow_merge)
+            key = kernel_cache_key(
+                program, formats, be.name, force_driver, allow_merge, extra_key
+            )
             hit = KERNEL_CACHE.lookup(key, backend=be.name)
             if hit is not None:
                 sp.set(cache_hit=True)

@@ -40,8 +40,15 @@ def kernel_cache_key(
     backend: str,
     force_driver: str | None = None,
     allow_merge: bool = True,
+    extra_key: tuple = (),
 ) -> tuple:
-    """The cache key for one compilation request (see module docstring)."""
+    """The cache key for one compilation request (see module docstring).
+
+    ``extra_key`` lets callers who compile on behalf of a *decision* —
+    notably :mod:`repro.compiler.autoplan`, which keys on the structure
+    profile's fingerprint — keep otherwise-identical requests apart (or,
+    symmetrically, share them only when the decision inputs matched).
+    """
     sparse = {
         name for name in program.arrays() if not formats[name].structurally_dense
     }
@@ -51,7 +58,15 @@ def kernel_cache_key(
         for piece in split_statement(stmt)
     )
     specs = tuple(sorted((name, fmt.spec()) for name, fmt in formats.items()))
-    return (repr(program), specs, predicates, backend, force_driver, allow_merge)
+    return (
+        repr(program),
+        specs,
+        predicates,
+        backend,
+        force_driver,
+        allow_merge,
+        tuple(extra_key),
+    )
 
 
 class PlanCache:

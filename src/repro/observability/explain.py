@@ -29,17 +29,22 @@ def explain(obj, formats=None, verbose: bool = True) -> str:
     ----------
     obj:
         A :class:`CompiledKernel`, a :class:`KernelUnit`, a :class:`Plan`,
-        or mini-language source text (requires ``formats``).
+        an :class:`~repro.compiler.autoplan.AutoPlan` (format-selection
+        rationale: structure profile + ranked candidate costs), or
+        mini-language source text (requires ``formats``).
     formats:
         Array-name → :class:`Format` mapping, only needed when ``obj`` is
         source text.
     verbose:
         Include the rejected-alternatives section.
     """
+    from repro.compiler.autoplan import AutoPlan
     from repro.compiler.kernels import CompiledKernel, compile_kernel
     from repro.compiler.codegen import KernelUnit
     from repro.compiler.scheduling import Plan
 
+    if isinstance(obj, AutoPlan):
+        return obj.describe()
     if isinstance(obj, str):
         if formats is None:
             raise ObservabilityError(

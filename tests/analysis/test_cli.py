@@ -71,3 +71,73 @@ def test_directory_discovery_recurses(tmp_path, capsys):
     sub.mkdir(parents=True)
     (sub / "ok.loop").write_text("for i in 0:n { Y[i] += X[i] }")
     assert main(["--kernels", str(tmp_path)]) == 0
+
+
+def test_structure_pass_is_listed(capsys):
+    assert main(["--list"]) == 0
+    assert "structure" in capsys.readouterr().out
+
+
+def test_json_records_executed_pass_names(tmp_path):
+    out_file = tmp_path / "diag.json"
+    assert main(["--passes", "doany,lint", "--json", str(out_file)]) == 0
+    doc = json.loads(out_file.read_text())
+    assert doc["passes"] == ["doany", "lint"]
+
+
+def test_all_plus_passes_validates_names_instead_of_skipping(capsys):
+    """Regression: --all used to shadow --passes entirely, so a typo in
+    --passes was silently ignored whenever --all was present."""
+    with pytest.raises(SystemExit) as e:
+        main(["--all", "--passes", "nonsense"])
+    assert e.value.code == 2
+    assert "unknown pass" in capsys.readouterr().err
+
+
+def test_all_plus_passes_runs_each_pass_once(tmp_path):
+    out_file = tmp_path / "diag.json"
+    assert main(["--all", "--passes", "doany", "--json", str(out_file)]) == 0
+    doc = json.loads(out_file.read_text())
+    assert doc["passes"].count("doany") == 1
+    assert "structure" in doc["passes"]
+
+
+def _write_band_mtx(path, n=40):
+    import numpy as np
+
+    from repro.formats import COOMatrix
+    from repro.matrices.mmio import write_matrix_market
+
+    i = np.arange(n)
+    coo = COOMatrix.from_entries(
+        (n, n),
+        np.concatenate([i, i[:-1]]),
+        np.concatenate([i, i[1:]]),
+        np.ones(2 * n - 1),
+    )
+    write_matrix_market(coo, str(path))
+
+
+def test_structure_flag_profiles_matrix_market_file(tmp_path, capsys):
+    mtx = tmp_path / "band.mtx"
+    _write_band_mtx(mtx)
+    assert main(["--structure", str(mtx), "--min-severity", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "BER050" in out
+    assert "banded" in out
+
+
+def test_structure_flag_json_includes_recommendation(tmp_path):
+    mtx = tmp_path / "band.mtx"
+    _write_band_mtx(mtx)
+    out_file = tmp_path / "diag.json"
+    assert main(["--structure", str(mtx), "--json", str(out_file)]) == 0
+    doc = json.loads(out_file.read_text())
+    assert "structure-files" in doc["passes"]
+    codes = {d["code"] for d in doc["diagnostics"]}
+    assert "BER050" in codes
+
+
+def test_structure_flag_missing_file_is_ber001_exit_one(tmp_path, capsys):
+    assert main(["--structure", str(tmp_path / "nope.mtx")]) == 1
+    assert "BER001" in capsys.readouterr().out

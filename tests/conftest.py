@@ -1,10 +1,53 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Seed plumbing: the randomized (non-hypothesis) suites — the autoplan
+property harness, the structured-generator round-trips — derive every
+case from ``np.random.default_rng([TEST_SEED, case_id])``.  The base
+seed is pinned (``DEFAULT_TEST_SEED``) so runs are reproducible byte for
+byte; the ``REPRO_TEST_SEED`` env var overrides it (the nightly CI sweep
+passes a date-derived value).  On any test failure the active seed is
+printed in the report's ``test seed`` section — replay with
+``REPRO_TEST_SEED=<seed> pytest <nodeid>``.
+"""
+
+import os
 
 import numpy as np
 import pytest
 from hypothesis import strategies as st
 
 from repro.formats import COOMatrix
+
+DEFAULT_TEST_SEED = 19970
+# resolved once at import so every test in one run agrees on the seed
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", DEFAULT_TEST_SEED))
+
+
+@pytest.fixture
+def test_seed() -> int:
+    """The active base seed for randomized (non-hypothesis) tests."""
+    return TEST_SEED
+
+
+def case_rng(case_id: int, *extra: int) -> np.random.Generator:
+    """Per-case stream: stable under case addition/reordering."""
+    return np.random.default_rng([TEST_SEED, int(case_id), *map(int, extra)])
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Stamp the active base seed on every failure report, so any
+    randomized failure is replayable straight from the CI log."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(
+            (
+                "test seed",
+                f"REPRO_TEST_SEED={TEST_SEED}  "
+                f"(replay: REPRO_TEST_SEED={TEST_SEED} pytest {item.nodeid!r})",
+            )
+        )
 
 
 @pytest.fixture

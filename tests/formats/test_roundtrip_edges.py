@@ -13,6 +13,8 @@ import pytest
 
 from repro.errors import FormatError
 from repro.formats import FORMAT_NAMES, BlockDiagonalMatrix, COOMatrix
+from tests.conftest import case_rng
+from tests.generators import STRUCTURE_CLASSES
 
 ALL_FORMATS = dict(FORMAT_NAMES, BlockDiag=BlockDiagonalMatrix)
 
@@ -45,6 +47,28 @@ def test_roundtrip_or_format_error(fmt_name, case_name):
     # duplicate entries must SUM (canonical COO semantics), not
     # last-write-win
     assert np.allclose(back.vals, ref.vals)
+
+
+@pytest.mark.parametrize("fmt_name", sorted(ALL_FORMATS))
+@pytest.mark.parametrize("cls_name", sorted(STRUCTURE_CLASSES))
+@pytest.mark.parametrize("rep", range(2))
+def test_roundtrip_every_generated_structure_class(fmt_name, cls_name, rep):
+    """Beyond hand-picked edges: every format × every planted structure
+    class from the seeded generator suite.  Generator values are integers,
+    so the round-trip must be *exact* — no tolerance."""
+    rng = case_rng(rep, 60 + sorted(STRUCTURE_CLASSES).index(cls_name))
+    coo = STRUCTURE_CLASSES[cls_name](rng, int(rng.integers(6, 33)))
+    cls = ALL_FORMATS[fmt_name]
+    try:
+        m = cls.from_coo(coo)
+    except FormatError:
+        return  # a clean, typed rejection is an acceptable outcome
+    back = m.to_coo().canonicalized()
+    ref = coo.canonicalized()
+    assert back.shape == ref.shape
+    assert np.array_equal(back.row, ref.row)
+    assert np.array_equal(back.col, ref.col)
+    assert np.array_equal(back.vals, ref.vals)
 
 
 def test_square_only_formats_reject_rectangular_with_message():
