@@ -1,6 +1,6 @@
 """Static analysis & verification for the Bernoulli pipeline.
 
-Five passes over the artifacts the compiler and runtime otherwise take
+Six passes over the artifacts the compiler and runtime otherwise take
 on faith, each reporting :class:`~repro.analysis.diagnostics.Diagnostic`
 findings with stable ``BER0xx`` codes:
 
@@ -14,6 +14,9 @@ findings with stable ``BER0xx`` codes:
 * :mod:`repro.analysis.structure` — does the chosen storage format match
   the matrix's detected sparsity structure (and does the auto-planner
   pick a defensible one)?
+* :mod:`repro.analysis.regions` — is a hybrid region decomposition a
+  loss-free cover (no dropped, double-counted, or shifted entries), and
+  does the auditor catch seeded partition defects?
 
 ``python -m repro.analysis`` runs them from the command line; the DOANY
 checker also runs inside :func:`~repro.compiler.compile_kernel` (the
@@ -32,8 +35,16 @@ from repro.analysis.diagnostics import (
 from repro.analysis.registry import AnalysisPass, all_passes, get_pass, register_pass
 
 # importing the pass modules registers their sweep runners
-from repro.analysis import contracts, doany, lint, schedule, structure  # noqa: E402,F401
+from repro.analysis import (  # noqa: E402,F401
+    contracts,
+    doany,
+    lint,
+    regions,
+    schedule,
+    structure,
+)
 from repro.analysis.contracts import audit_format, audit_registered_formats
+from repro.analysis.regions import audit_partition
 from repro.analysis.doany import check_program, check_source
 from repro.analysis.lint import lint_generated_source, lint_kernel, lint_plan
 from repro.analysis.schedule import (
@@ -73,4 +84,5 @@ __all__ = [
     "StructureProfile",
     "analyze_structure",
     "audit_format_choice",
+    "audit_partition",
 ]

@@ -61,6 +61,16 @@ from repro.compiler.autoplan import (
     autoplan,
     autoplan_spmv,
 )
+from repro.compiler.specialize import (
+    HybridKernel,
+    HybridMatrix,
+    HybridPlan,
+    Region,
+    RegionPartition,
+    SpecializeConfig,
+    partition_regions,
+    plan_hybrid,
+)
 
 __all__ = [
     "parse",
@@ -90,4 +100,12 @@ __all__ = [
     "CostModel",
     "autoplan",
     "autoplan_spmv",
+    "HybridKernel",
+    "HybridMatrix",
+    "HybridPlan",
+    "Region",
+    "RegionPartition",
+    "SpecializeConfig",
+    "partition_regions",
+    "plan_hybrid",
 ]

@@ -43,7 +43,7 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
-from repro.errors import CompileError, FormatError
+from repro.errors import CompileError, FormatError, ReproError
 from repro.formats.base import Format
 from repro.formats.blockdiag import BlockDiagonalMatrix
 from repro.formats.ccs import CCSMatrix
@@ -103,6 +103,9 @@ DEFAULT_ALPHA: dict[str, float] = {
     "BlockDiag": 2.0e-5,
     "Inode": 1.5e-5,
     "Dense": 1.0e-5,
+    # region-only format (repro.compiler.specialize); never a standalone
+    # candidate, but hybrid region pricing reads these maps
+    "DenseBlocks": 2.0e-5,
 }
 
 #: per-work-unit cost (seconds) of the vectorized lowering, by format
@@ -116,6 +119,9 @@ DEFAULT_BETA: dict[str, float] = {
     "BlockDiag": 3.0e-9,
     "Inode": 4.0e-9,
     "Dense": 2.2e-9,
+    # dense windows run through the block-GEMV lowering: contiguous BLAS
+    # per window, cheaper per stored slot than any gather-based format
+    "DenseBlocks": 8.0e-10,
 }
 
 #: per stored-slot cost of the interpreted scalar nest (any format)
@@ -206,7 +212,17 @@ class CostModel:
     def from_history(cls, path: str | None = None) -> "CostModel":
         """The model calibrated by the latest ``autoplan_calibration``
         record in the benchmark history, or the defaults when the history
-        is absent, unreadable, or has no calibration record."""
+        is absent, unreadable, or has no calibration record.
+
+        Stale records are tolerated, not trusted: a record written before
+        a format was added (or after one was removed/renamed) names a
+        different format set than the container defaults.  Unknown format
+        names are skipped — pricing an unknown name would either KeyError
+        at predict time or silently mis-price a *different* format — and
+        non-finite values (NaN/inf from a degenerate fit) fall back to the
+        per-format default, so a partially-stale record degrades per key
+        rather than poisoning the whole model.
+        """
         from repro.observability.bench_track import DEFAULT_HISTORY, BenchHistory
 
         try:
@@ -223,18 +239,32 @@ class CostModel:
                 value = float(value)
             except (TypeError, ValueError):
                 continue
-            if key.startswith("alpha.") and value >= 0:
-                alpha[key[len("alpha."):]] = value
-            elif key.startswith("beta.") and value > 0:
-                beta[key[len("beta."):]] = value
+            if not np.isfinite(value):
+                continue
+            if key.startswith("alpha."):
+                name = key[len("alpha."):]
+                if name in DEFAULT_ALPHA and value >= 0:
+                    alpha[name] = value
+            elif key.startswith("beta."):
+                name = key[len("beta."):]
+                if name in DEFAULT_BETA and value > 0:
+                    beta[name] = value
+
+        def _scalar(key: str, default: float) -> float:
+            try:
+                v = float(rec.metrics.get(key, default))
+            except (TypeError, ValueError):
+                return default
+            return v if np.isfinite(v) and v > 0 else default
+
         return cls(
             alpha=alpha,
             beta=beta,
-            alpha_interpreted=float(
-                rec.metrics.get("alpha.__interpreted__", DEFAULT_ALPHA_INTERPRETED)
+            alpha_interpreted=_scalar(
+                "alpha.__interpreted__", DEFAULT_ALPHA_INTERPRETED
             ),
-            beta_interpreted=float(
-                rec.metrics.get("beta.__interpreted__", DEFAULT_BETA_INTERPRETED)
+            beta_interpreted=_scalar(
+                "beta.__interpreted__", DEFAULT_BETA_INTERPRETED
             ),
             source=f"history[{rec.fingerprint}@{rec.git_rev}]",
         )
@@ -259,6 +289,10 @@ class AutoPlan:
     #: format actually materialized by :meth:`build` (differs from
     #: ``format_name`` only if the builder raised and a fallback ran)
     built_name: str | None = None
+    #: the priced region decomposition behind the ``"Hybrid"`` candidate
+    #: (:class:`~repro.compiler.specialize.HybridPlan`), or None when
+    #: partitioning failed outright
+    hybrid: "object | None" = None
 
     # ------------------------------------------------------------------
     @property
@@ -283,7 +317,12 @@ class AutoPlan:
             if not cand.feasible:
                 continue
             try:
-                fmt = CANDIDATE_FORMATS[cand.format_name](coo, self.profile)
+                if cand.format_name == "Hybrid":
+                    if self.hybrid is None:
+                        continue
+                    fmt = self.hybrid.build()
+                else:
+                    fmt = CANDIDATE_FORMATS[cand.format_name](coo, self.profile)
             except FormatError as e:
                 last_error = e
                 continue
@@ -312,8 +351,22 @@ class AutoPlan:
         matrix).  Returns ``(kernel, formats)`` where ``formats`` is the
         full binding map (reusable as the call arguments).  The profile
         fingerprint joins the kernel-cache key.
+
+        When the ``"Hybrid"`` candidate won, compilation delegates to
+        :meth:`HybridPlan.compile <repro.compiler.specialize.HybridPlan.compile>`
+        — one cached sub-kernel per region, executed in fixed partition
+        order by the returned ``HybridKernel``.
         """
         from repro.compiler.kernels import compile_kernel
+
+        if self.format_name == "Hybrid" and self.hybrid is not None:
+            self.built_name = "Hybrid"
+            kwargs.setdefault(
+                "extra_key", ("autoplan", self.profile.fingerprint())
+            )
+            return self.hybrid.compile(
+                source=source, name=name, extra=extra, **kwargs
+            )
 
         if source is None:
             from repro.kernels.spmv import SPMV_SRC
@@ -361,6 +414,8 @@ class AutoPlan:
                 f"predicted={c.predicted_seconds * 1e6:>8.1f} µs"
                 f"{status}{chosen}{note}"
             )
+        if self.format_name == "Hybrid" and self.hybrid is not None:
+            lines.append(self.hybrid.describe())
         return "\n".join(lines)
 
     def explain(self) -> str:
@@ -374,6 +429,7 @@ class AutoPlan:
             "backend": self.backend,
             "predicted_seconds": self.predicted_seconds,
             "model_source": self.model_source,
+            "hybrid": self.hybrid.to_dict() if self.hybrid is not None else None,
             "candidates": [
                 {
                     "format": c.format_name,
@@ -395,6 +451,12 @@ def _feasibility(profile: "StructureProfile", name: str) -> tuple[bool, str]:
             return False, "requires a square matrix"
         if not profile.blockptr:
             return False, "no diagonal-block partition"
+        if profile.nblocks < 2:
+            # one block spanning the whole matrix is Dense with extra
+            # steps — pricing it with a beta fitted on real multi-block
+            # matrices badly under-predicts (the `blockdiag` tag itself
+            # requires >= 2 blocks)
+            return False, "degenerate single-block partition"
     if name == "Dense" and profile.nrows * profile.ncols > 32_000_000:
         return False, "dense storage would exceed the memory budget"
     return True, ""
@@ -442,6 +504,37 @@ def autoplan(
             candidates.append(
                 CandidateCost(name, backend, units, pred, feasible, note)
             )
+
+    # the composed region-specialized plan competes in the same ranking:
+    # per-region α charges mean it only wins when the regions are big
+    # enough to amortize the extra dispatches
+    from repro.compiler.specialize import plan_hybrid
+
+    hybrid = None
+    try:
+        hybrid = plan_hybrid(coo, profile=profile, model=model)
+        candidates.append(
+            CandidateCost(
+                "Hybrid",
+                "vectorized",
+                hybrid.work_units,
+                hybrid.predicted_seconds,
+                hybrid.feasible,
+                hybrid.note,
+            )
+        )
+    except ReproError as e:  # partitioning failed: rank without hybrid
+        candidates.append(
+            CandidateCost(
+                "Hybrid",
+                "vectorized",
+                0.0,
+                float("inf"),
+                False,
+                f"partitioning failed: {e}",
+            )
+        )
+
     candidates.sort(key=lambda c: (c.predicted_seconds, c.format_name, c.backend))
     best = next(c for c in candidates if c.feasible)
     with span(
@@ -459,6 +552,7 @@ def autoplan(
             backend=best.backend,
             predicted_seconds=best.predicted_seconds,
             model_source=model.source,
+            hybrid=hybrid,
         )
     _metrics.record(
         "runtime.autoplan.choices", format=best.format_name, backend=best.backend

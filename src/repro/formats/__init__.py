@@ -30,6 +30,7 @@ from repro.formats.translated import TranslatedVector
 from repro.formats.inode import InodeMatrix
 from repro.formats.blockdiag import BlockDiagonalMatrix
 from repro.formats.blocksolve import BlockSolveMatrix
+from repro.formats.denseblocks import DenseBlocksMatrix
 
 __all__ = [
     "AccessLevel",
@@ -51,6 +52,7 @@ __all__ = [
     "InodeMatrix",
     "BlockDiagonalMatrix",
     "BlockSolveMatrix",
+    "DenseBlocksMatrix",
     "FORMAT_NAMES",
     "matrix_format_by_name",
 ]

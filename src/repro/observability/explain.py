@@ -30,8 +30,11 @@ def explain(obj, formats=None, verbose: bool = True) -> str:
     obj:
         A :class:`CompiledKernel`, a :class:`KernelUnit`, a :class:`Plan`,
         an :class:`~repro.compiler.autoplan.AutoPlan` (format-selection
-        rationale: structure profile + ranked candidate costs), or
-        mini-language source text (requires ``formats``).
+        rationale: structure profile + ranked candidate costs), a
+        :class:`~repro.compiler.specialize.HybridPlan` /
+        :class:`~repro.compiler.specialize.HybridKernel` (the region
+        decomposition and per-region lowering), or mini-language source
+        text (requires ``formats``).
     formats:
         Array-name → :class:`Format` mapping, only needed when ``obj`` is
         source text.
@@ -42,8 +45,9 @@ def explain(obj, formats=None, verbose: bool = True) -> str:
     from repro.compiler.kernels import CompiledKernel, compile_kernel
     from repro.compiler.codegen import KernelUnit
     from repro.compiler.scheduling import Plan
+    from repro.compiler.specialize import HybridKernel, HybridPlan
 
-    if isinstance(obj, AutoPlan):
+    if isinstance(obj, (AutoPlan, HybridPlan, HybridKernel)):
         return obj.describe()
     if isinstance(obj, str):
         if formats is None:

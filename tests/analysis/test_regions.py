@@ -1,0 +1,110 @@
+"""The region-partition auditor (BER056-059) and its mutation self-check.
+
+The auditor's job is to catch partition defects that produce *plausibly
+close* hybrid results — dropped entries, double-counted overlaps,
+shifted boundaries.  Each test plants exactly one defect with the seeded
+mutation helpers and requires the expected code; the registered sweep
+pass does the same over inline probes and must report every mutant as
+caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import all_passes
+from repro.analysis.regions import (
+    audit_partition,
+    mutate_double_count,
+    mutate_drop_region,
+    mutate_shift_boundary,
+    run_region_selfcheck,
+)
+from repro.compiler.specialize import partition_regions
+from repro.formats.coo import COOMatrix
+from tests.conftest import case_rng
+from tests.generators import STRUCTURE_CLASSES
+
+
+@pytest.fixture
+def hybrid_case():
+    rng = case_rng(5900)
+    coo = STRUCTURE_CLASSES["hybrid"](rng, 72).canonicalized()
+    partition = partition_regions(coo)
+    assert len(partition.regions) >= 2  # mutations need multiple regions
+    return coo, partition
+
+
+def test_clean_partition_audits_ok(hybrid_case):
+    coo, partition = hybrid_case
+    report = audit_partition(coo, partition)
+    assert report.ok, report.render()
+    # one info line per region on a clean audit
+    assert len(report.by_code("BER050")) == len(partition.regions)
+
+
+def test_dropped_region_is_caught_as_ber056(hybrid_case):
+    coo, partition = hybrid_case
+    mutant = mutate_drop_region(partition, 0)
+    report = audit_partition(coo, mutant)
+    assert not report.ok
+    assert report.by_code("BER056"), report.render()
+
+
+def test_double_counted_region_is_caught_as_ber057(hybrid_case):
+    coo, partition = hybrid_case
+    mutant = mutate_double_count(partition, 1)
+    report = audit_partition(coo, mutant)
+    assert not report.ok
+    assert report.by_code("BER057"), report.render()
+
+
+def test_shifted_boundary_is_caught(hybrid_case):
+    coo, partition = hybrid_case
+    mutant = mutate_shift_boundary(partition, 0)
+    report = audit_partition(coo, mutant)
+    assert not report.ok
+    # a shift both drops originals and invents strays
+    codes = set(report.codes())
+    assert {"BER056", "BER057"} & codes, report.render()
+
+
+def test_value_corruption_is_caught_as_ber058(hybrid_case):
+    """Coordinates intact, one value corrupted: only the bitwise value
+    check can see it."""
+    coo, partition = hybrid_case
+    regions = list(partition.regions)
+    r = regions[0]
+    vals = r.coo.vals.copy()
+    vals[0] += 1.0
+    from repro.analysis.regions import _clone_partition, _clone_region
+
+    corrupted = COOMatrix(r.coo.shape, r.coo.row, r.coo.col, vals)
+    regions[0] = _clone_region(r, corrupted)
+    mutant = _clone_partition(partition, regions)
+    report = audit_partition(coo, mutant)
+    assert not report.ok
+    assert report.by_code("BER058"), report.render()
+
+
+def test_shape_mismatch_is_rejected(hybrid_case):
+    coo, partition = hybrid_case
+    other = COOMatrix((coo.shape[0] + 1, coo.shape[1]), [], [], [])
+    report = audit_partition(other, partition)
+    assert not report.ok
+    assert report.by_code("BER057")
+
+
+def test_selfcheck_catches_every_seeded_mutant():
+    report = run_region_selfcheck()
+    assert report.ok, report.render()
+    meta = report.by_code("BER059")
+    # every (probe × mutation) combination reports as caught
+    assert len(meta) >= 6
+    assert all(d.severity == "info" and "caught" in d.message for d in meta)
+
+
+def test_regions_pass_is_registered():
+    passes = all_passes()
+    assert "regions" in passes
+    report = passes["regions"].run()
+    assert report.ok

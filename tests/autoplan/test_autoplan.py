@@ -25,8 +25,11 @@ def test_ranking_is_sorted_and_choice_is_cheapest_feasible():
     assert (plan.format_name, plan.backend) == (best.format_name, best.backend)
     assert plan.predicted_seconds == best.predicted_seconds
     assert plan.predicted_seconds <= plan.predicted_worst
-    # every registered candidate format was weighed
-    assert {c.format_name for c in plan.candidates} == set(CANDIDATE_FORMATS)
+    # every registered candidate format was weighed, plus the composed
+    # region-specialized plan
+    assert {c.format_name for c in plan.candidates} == (
+        set(CANDIDATE_FORMATS) | {"Hybrid"}
+    )
 
 
 def test_blockdiag_is_infeasible_on_rectangular_matrices():

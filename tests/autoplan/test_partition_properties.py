@@ -1,0 +1,148 @@
+"""Region-partition properties: every partition is a loss-free cover.
+
+For every structure class (including the adversarial near-misses) and a
+gauntlet of edge shapes, :func:`partition_regions` must place every
+stored entry in **exactly one** region and reassemble the input exactly
+— checked three ways: set algebra on coordinates, bitwise dense
+reassembly, and the registered BER056-058 audit.  Materialization
+fidelity rides along: each region built in its chosen format must
+round-trip its own entries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regions import audit_partition
+from repro.compiler.specialize import SpecializeConfig, partition_regions
+from repro.formats.coo import COOMatrix
+from tests.conftest import case_rng
+from tests.generators import STRUCTURE_CLASSES
+
+REPS = 3
+CLASS_ID = {name: i for i, name in enumerate(sorted(STRUCTURE_CLASSES))}
+CASES = [
+    (cls, rep) for cls in sorted(STRUCTURE_CLASSES) for rep in range(REPS)
+]
+
+
+def _assert_loss_free_cover(coo, partition):
+    coo = coo.canonicalized()
+    n, m = coo.shape
+    # 1) exactly-one-region: region nnz sums to the input nnz and the
+    #    union of coordinate keys has no duplicates and no strays
+    keys = [r.coo.row * m + r.coo.col for r in partition.regions]
+    union = np.concatenate(keys) if keys else np.empty(0, dtype=np.int64)
+    assert len(union) == coo.nnz
+    uniq = np.unique(union)
+    assert len(uniq) == len(union), "a coordinate is claimed twice"
+    assert np.array_equal(uniq, np.unique(coo.row * m + coo.col))
+    # 2) bitwise reassembly (each entry has exactly one contribution, so
+    #    no floating-point reassociation is possible)
+    back = partition.reassemble().canonicalized()
+    assert np.array_equal(back.row, coo.row)
+    assert np.array_equal(back.col, coo.col)
+    assert back.vals.tobytes() == coo.vals.tobytes()
+    # 3) the registered audit agrees (and covers materialization)
+    report = audit_partition(coo, partition)
+    assert report.ok, report.render()
+
+
+@pytest.mark.parametrize("cls,rep", CASES)
+def test_partition_is_loss_free_on_every_structure_class(cls, rep):
+    rng = case_rng(7000 + CLASS_ID[cls] * 10 + rep)
+    n = int(rng.integers(24, 97))
+    coo = STRUCTURE_CLASSES[cls](rng, n)
+    partition = partition_regions(coo)
+    _assert_loss_free_cover(coo, partition)
+    assert partition.nnz == coo.canonicalized().nnz
+
+
+def test_materialized_regions_rebuild_the_matrix_exactly():
+    rng = case_rng(7100)
+    coo = STRUCTURE_CLASSES["hybrid"](rng, 64)
+    partition = partition_regions(coo)
+    total = np.zeros(coo.shape)
+    for region in partition.regions:
+        total += region.build().to_coo().to_dense()
+    assert np.array_equal(total, coo.to_dense())
+
+
+@pytest.mark.parametrize(
+    "shape,entries",
+    [
+        ((0, 0), ()),
+        ((1, 1), ((0, 0, 3.0),)),
+        ((1, 1), ()),
+        ((5, 0), ()),
+        ((1, 64), tuple((0, j, 1.0) for j in range(64))),  # one skewed row
+        ((64, 1), tuple((i, 0, 1.0) for i in range(64))),
+    ],
+)
+def test_partition_handles_degenerate_shapes(shape, entries):
+    ii = [e[0] for e in entries]
+    jj = [e[1] for e in entries]
+    vv = [e[2] for e in entries]
+    coo = COOMatrix(shape, ii, jj, vv)
+    partition = partition_regions(coo)
+    _assert_loss_free_cover(coo, partition)
+    assert len(partition.regions) >= 1  # never an empty region list
+
+
+def test_all_dense_matrix_partitions_loss_free():
+    rng = case_rng(7101)
+    n = 32
+    dense = rng.integers(1, 5, size=(n, n)).astype(float)
+    coo = COOMatrix.from_dense(dense)
+    partition = partition_regions(coo)
+    _assert_loss_free_cover(coo, partition)
+    # a fully dense matrix is one dense window, not a shredded mosaic
+    kinds = [r.kind for r in partition.regions if r.coo.nnz]
+    assert kinds and kinds[0] == "dense"
+
+
+@pytest.mark.parametrize("n", [15, 16, 17, 23, 24, 25, 31, 32, 33])
+def test_partition_survives_tile_boundary_off_by_one_shapes(n):
+    """Shapes straddling the 8-wide tile grid: the truncated last tile
+    row/column must not drop or double-claim entries."""
+    rng = case_rng(7200 + n)
+    dense = (rng.random((n, n)) < 0.6).astype(float) * 3.0
+    # plant a window that ends exactly at the ragged edge
+    dense[n - 16:, n - 16:] = 2.0
+    coo = COOMatrix.from_dense(dense)
+    partition = partition_regions(coo)
+    _assert_loss_free_cover(coo, partition)
+
+
+def test_partition_of_rectangular_matrices_is_loss_free():
+    rng = case_rng(7300)
+    for shape in ((24, 80), (80, 24), (17, 66)):
+        dense = (rng.random(shape) < 0.2).astype(float)
+        dense[3:19, 4:20] = 5.0  # a planted window
+        coo = COOMatrix.from_dense(dense)
+        partition = partition_regions(coo)
+        _assert_loss_free_cover(coo, partition)
+
+
+def test_single_skewed_row_becomes_a_skew_region():
+    n = 80
+    ii = list(range(n)) + [7] * (n // 2)
+    jj = list(range(n)) + list(range(0, n, 2))
+    coo = COOMatrix.from_entries((n, n), ii, jj, np.ones(len(ii)))
+    partition = partition_regions(coo)
+    _assert_loss_free_cover(coo, partition)
+    kinds = {r.kind for r in partition.regions if r.coo.nnz}
+    assert "skew" in kinds
+    skew = next(r for r in partition.regions if r.kind == "skew")
+    assert set(np.unique(skew.coo.row)) == {7}
+
+
+def test_config_thresholds_are_respected():
+    """Raising skew_min above any row length must disable the skew peel."""
+    n = 80
+    ii = list(range(n)) + [7] * (n // 2)
+    jj = list(range(n)) + list(range(0, n, 2))
+    coo = COOMatrix.from_entries((n, n), ii, jj, np.ones(len(ii)))
+    cfg = SpecializeConfig(skew_min=n + 1)
+    partition = partition_regions(coo, config=cfg)
+    _assert_loss_free_cover(coo, partition)
+    assert "skew" not in {r.kind for r in partition.regions}

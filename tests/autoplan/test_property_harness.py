@@ -1,6 +1,6 @@
 """Property-based differential harness for the auto-planner.
 
-For every (structure class × kernel × replicate) case — 240 in all — a
+For every (structure class × kernel × replicate) case — 264 in all — a
 seeded generator plants a matrix, the auto-planner picks a format and
 backend on its own, and the compiled result must be **bitwise equal** to
 the dense interpreted oracle (:func:`run_reference`).  Bitwise is not

@@ -34,6 +34,7 @@ from repro.formats.coo import COOMatrix
 
 __all__ = [
     "STRUCTURE_CLASSES",
+    "HYBRID_CLASSES",
     "integer_vector",
     "gen_block_diag",
     "gen_banded",
@@ -42,6 +43,7 @@ __all__ = [
     "gen_symmetric",
     "gen_inode",
     "gen_hybrid",
+    "gen_hybrid_blocks",
     "gen_uniform",
     "gen_near_banded",
     "gen_near_block_diag",
@@ -175,10 +177,16 @@ def gen_inode(rng: np.random.Generator, n: int) -> COOMatrix:
 
 
 def gen_hybrid(rng: np.random.Generator, n: int) -> COOMatrix:
-    """Band + one planted dense block + a couple of hub rows."""
+    """Band + one planted dense block + a couple of hub rows.
+
+    The block width scales with n (~n/5, at least 4) so that at
+    benchmark sizes the dense region is large enough for a composed
+    hybrid plan to amortize its per-region dispatch overhead — exactly
+    the regime region specialization exists for.
+    """
     band = gen_banded(rng, n)
     ii, jj = [band.row], [band.col]
-    w = min(int(rng.integers(4, 9)), n)
+    w = min(max(4, n // 5), n)
     b0 = int(rng.integers(0, n - w + 1))
     rr, cc = np.meshgrid(np.arange(b0, b0 + w), np.arange(b0, b0 + w), indexing="ij")
     ii.append(rr.ravel())
@@ -187,6 +195,31 @@ def gen_hybrid(rng: np.random.Generator, n: int) -> COOMatrix:
         cols = rng.choice(n, size=n // 4, replace=False)
         ii.append(np.full(len(cols), h))
         jj.append(cols)
+    return _from_ijv(n, n, np.concatenate(ii), np.concatenate(jj), rng)
+
+
+def gen_hybrid_blocks(rng: np.random.Generator, n: int) -> COOMatrix:
+    """Planted off-diagonal dense blocks over a sparse uniform background.
+
+    Unlike :func:`gen_hybrid` the blocks sit at arbitrary (row, column)
+    offsets — they are *not* diagonal blocks, so only a format storing
+    free-floating dense windows (DenseBlocks) captures them.  Blocks are
+    placed in disjoint row stripes so their windows never overlap.
+    """
+    k = max(n, int(0.01 * n * n))
+    ii = [rng.integers(0, n, size=k)]
+    jj = [rng.integers(0, n, size=k)]
+    w = min(max(4, n // 6), n)
+    nblk = 2 if n // 2 >= w else 1
+    stripe = n // nblk
+    for b in range(nblk):
+        r0 = int(rng.integers(b * stripe, b * stripe + stripe - w + 1))
+        c0 = int(rng.integers(0, n - w + 1))
+        rr, cc = np.meshgrid(
+            np.arange(r0, r0 + w), np.arange(c0, c0 + w), indexing="ij"
+        )
+        ii.append(rr.ravel())
+        jj.append(cc.ravel())
     return _from_ijv(n, n, np.concatenate(ii), np.concatenate(jj), rng)
 
 
@@ -231,7 +264,16 @@ STRUCTURE_CLASSES: dict = {
     "symmetric": gen_symmetric,
     "inode": gen_inode,
     "hybrid": gen_hybrid,
+    "hybrid_blocks": gen_hybrid_blocks,
     "uniform": gen_uniform,
     "near_banded": gen_near_banded,
     "near_block_diag": gen_near_block_diag,
+}
+
+#: the classes with *mixed* planted structure — the regime where a
+#: region-specialized hybrid plan should beat every single format
+#: (``bench_hybrid.py`` gates on exactly these)
+HYBRID_CLASSES: dict = {
+    "hybrid": gen_hybrid,
+    "hybrid_blocks": gen_hybrid_blocks,
 }
