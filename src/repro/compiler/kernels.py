@@ -403,48 +403,51 @@ def compile_kernel(
                     "loop nest is not DOANY-safe:\n" + findings.render("error"),
                     stacklevel=2,
                 )
-        key = None
+        def build() -> CompiledKernel:
+            _metrics.record("compiler.compilations")
+            sparse = {
+                name
+                for name in program.arrays()
+                if not formats[name].structurally_dense
+            }
+            units: list[KernelUnit] = []
+            loop_vars = {l.var for l in program.loops}
+            for stmt in program.body:
+                for piece in split_statement(stmt):
+                    if not piece.reduce:
+                        free = loop_vars - set(piece.target.indices)
+                        if free:
+                            raise CompileError(
+                                f"plain assignment {piece!r} has free loop vars "
+                                f"{sorted(free)}; write the reduction with '+='"
+                            )
+                    query = extract_query(program, piece, sparse)
+                    plan = plan_query(
+                        query, dict(formats), force_driver=force_driver, allow_merge=allow_merge
+                    )
+                    units.append(KernelUnit(piece, plan))
+            kern = CompiledKernel(program, units, formats, be)
+            sp.set(
+                units=len(units),
+                drivers=[u.plan.driver for u in units],
+                lowerings=list(kern.unit_backends),
+                source_chars=len(kern.source),
+            )
+            return kern
+
         if cache:
+            # atomic lookup-or-build: concurrent requests with the same
+            # structural key compile exactly once (single-flight)
             key = kernel_cache_key(
                 program, formats, be.name, force_driver, allow_merge, extra_key
             )
-            hit = KERNEL_CACHE.lookup(key, backend=be.name)
-            if hit is not None:
-                sp.set(cache_hit=True)
-                return hit
-        sp.set(cache_hit=False)
-        _metrics.record("compiler.compilations")
-
-        sparse = {
-            name
-            for name in program.arrays()
-            if not formats[name].structurally_dense
-        }
-        units: list[KernelUnit] = []
-        loop_vars = {l.var for l in program.loops}
-        for stmt in program.body:
-            for piece in split_statement(stmt):
-                if not piece.reduce:
-                    free = loop_vars - set(piece.target.indices)
-                    if free:
-                        raise CompileError(
-                            f"plain assignment {piece!r} has free loop vars "
-                            f"{sorted(free)}; write the reduction with '+='"
-                        )
-                query = extract_query(program, piece, sparse)
-                plan = plan_query(
-                    query, dict(formats), force_driver=force_driver, allow_merge=allow_merge
-                )
-                units.append(KernelUnit(piece, plan))
-        kern = CompiledKernel(program, units, formats, be)
-        sp.set(
-            units=len(units),
-            drivers=[u.plan.driver for u in units],
-            lowerings=list(kern.unit_backends),
-            source_chars=len(kern.source),
-        )
-        if cache and key is not None:
-            KERNEL_CACHE.insert(key, kern)
+            kern, outcome = KERNEL_CACHE.get_or_compile(
+                key, build, backend=be.name
+            )
+            sp.set(cache_hit=outcome != "compiled", cache_outcome=outcome)
+        else:
+            sp.set(cache_hit=False)
+            kern = build()
     return kern
 
 

@@ -23,6 +23,7 @@ __all__ = [
     "CommFailureError",
     "PhaseNotFoundError",
     "ObservabilityError",
+    "ServiceError",
 ]
 
 
@@ -133,3 +134,7 @@ class PhaseNotFoundError(RuntimeMachineError, KeyError):
 
 class ObservabilityError(ReproError):
     """Tracing / metrics / explain misuse (bad trace file, wrong target)."""
+
+
+class ServiceError(ReproError):
+    """Compile-and-solve service misuse (bad request kind, stopped service)."""

@@ -40,6 +40,7 @@ integrity was ever in question.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from dataclasses import dataclass, field
 
@@ -80,16 +81,25 @@ def copy_schedule(sched: GatherSchedule) -> GatherSchedule:
 
 @dataclass
 class ScheduleCacheStats:
-    """Hit/miss/invalidation counters of one cache."""
+    """Hit/miss/rejection/invalidation counters of one cache.
+
+    ``rejected`` counts lost collective agreements: this rank *had* a
+    valid cached entry, but the hit/miss allreduce came back short of
+    unanimous so the entry could not be used.  Recording those separately
+    from plain misses keeps warm-cache hit-rate reports honest — a
+    rejected hit says nothing about this rank's cache temperature.
+    """
 
     hits: int = 0
     misses: int = 0
+    rejected: int = 0
     invalidations: int = 0
 
     def as_dict(self) -> dict:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "rejected": self.rejected,
             "invalidations": self.invalidations,
         }
 
@@ -100,17 +110,25 @@ class ScheduleCache:
     Bounded LRU-ish (FIFO eviction at ``max_entries``); entries are deep
     copies both on the way in and on the way out, so neither the producer
     nor a consumer mutating its working schedule can corrupt the cache.
+
+    Thread-safe: the entry map and the stats counters are guarded by one
+    lock, so a shared cache (the service layer hands one instance to every
+    worker thread) cannot lose updates or tear an eviction mid-flight.
+    The copies are taken inside the lock; the returned schedule is private
+    to the caller.
     """
 
     def __init__(self, max_entries: int = 256):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
         self._entries: dict[tuple, GatherSchedule] = {}
         self.stats = ScheduleCacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # -- keys ------------------------------------------------------------
     @staticmethod
@@ -135,25 +153,44 @@ class ScheduleCache:
     # -- store -----------------------------------------------------------
     def get(self, key: tuple) -> GatherSchedule | None:
         """A private copy of the cached schedule, or None."""
-        sched = self._entries.get(key)
-        return None if sched is None else copy_schedule(sched)
+        with self._lock:
+            sched = self._entries.get(key)
+            return None if sched is None else copy_schedule(sched)
 
     def put(self, key: tuple, sched: GatherSchedule) -> None:
-        if key not in self._entries and len(self._entries) >= self.max_entries:
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[key] = copy_schedule(sched)
+        copy = copy_schedule(sched)  # copy outside the lock; it's the slow part
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = copy
 
     def invalidate(self, key: tuple) -> bool:
         """Drop one entry (the ``rebuild_schedule`` recovery hook)."""
-        present = self._entries.pop(key, None) is not None
+        with self._lock:
+            present = self._entries.pop(key, None) is not None
+            if present:
+                self.stats.invalidations += 1
         if present:
-            self.stats.invalidations += 1
             _metrics.record("inspector.cache_invalidations", 1)
         return present
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.stats = ScheduleCacheStats()
+        with self._lock:
+            self._entries.clear()
+            self.stats = ScheduleCacheStats()
+
+    # -- stats (used by cached_schedule; counters live under the lock) ----
+    def record_hit(self) -> None:
+        with self._lock:
+            self.stats.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.stats.misses += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.stats.rejected += 1
 
 
 #: The process-global cache used when callers pass ``schedule_cache=True``.
@@ -182,11 +219,17 @@ def cached_schedule(cache: ScheduleCache | None, key: tuple, nprocs: int, build)
     hit = cache.get(key)
     n_hit = yield ("allreduce", 1 if hit is not None else 0)
     if hit is not None and n_hit == nprocs:
-        cache.stats.hits += 1
+        cache.record_hit()
         _metrics.record("inspector.cache_hits", 1)
         return hit
-    cache.stats.misses += 1
-    _metrics.record("inspector.cache_misses", 1)
+    if hit is not None:
+        # this rank's entry was valid but the agreement came back short of
+        # unanimous: a *rejection*, not a miss — the cache was warm here
+        cache.record_rejected()
+        _metrics.record("inspector.cache_rejected", 1)
+    else:
+        cache.record_miss()
+        _metrics.record("inspector.cache_misses", 1)
     sched = yield from build()
     cache.put(key, sched)
     return sched

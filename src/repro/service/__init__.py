@@ -1,0 +1,49 @@
+"""Multi-tenant compile-and-solve service layer (DESIGN.md §13).
+
+The "millions of users" front end over the compiler and solvers: a
+long-running :class:`CompileSolveService` accepting concurrent kernel
+compilation and solve requests through an asyncio-friendly surface,
+backed by a worker thread pool, a bounded admission queue with shed and
+timeout behavior, per-tenant quotas, and single-flight batched
+compilation over the shared structural-key caches — so any number of
+concurrent requests for one kernel structure pay for exactly one
+compilation, and a warm structure costs a dict probe.
+
+    from repro.service import CompileSolveService, ServiceConfig, TenantQuota
+
+    with CompileSolveService(ServiceConfig(workers=8)) as svc:
+        resp = svc.solve_cg(A, b, tenant="alice")
+        x = resp.value["x"]
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TenantQuota,
+)
+from repro.service.handlers import (
+    BUILTIN_HANDLERS,
+    ServiceContext,
+    handle_compile,
+    handle_solve_cg,
+    handle_solve_jacobi,
+)
+from repro.service.service import (
+    CompileSolveService,
+    ServiceConfig,
+    ServiceResponse,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TenantQuota",
+    "ServiceContext",
+    "BUILTIN_HANDLERS",
+    "handle_compile",
+    "handle_solve_cg",
+    "handle_solve_jacobi",
+    "CompileSolveService",
+    "ServiceConfig",
+    "ServiceResponse",
+]

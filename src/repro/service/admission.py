@@ -1,0 +1,146 @@
+"""Request admission for the compile-and-solve service.
+
+Admission is the service's first line of defense: every request passes
+through one :class:`AdmissionController` *before* it is allowed to occupy
+a queue slot or a worker.  The controller enforces two bounds under a
+single lock:
+
+* a **global queue bound** (``max_queue``) — requests arriving while the
+  backlog is full are *shed* immediately (the caller gets a ``"shed"``
+  response in microseconds instead of a slow failure after a long wait;
+  classic load-shedding, cheaper for everyone than queueing to death),
+* **per-tenant quotas** (:class:`TenantQuota`) — a tenant may not hold
+  more than ``max_inflight`` admitted-but-unfinished requests, so one
+  noisy tenant cannot starve the rest of the fleet.
+
+A third bound, the **queue timeout**, is enforced at dequeue time by the
+worker (see :mod:`repro.service.service`): a request that waited longer
+than its deadline is answered ``"timed_out"`` without being run — work
+nobody is waiting for anymore is work not worth doing.
+
+Every admission decision is counted in the metrics registry
+(``service.admitted`` / ``service.shed{reason=...}``) and the live queue
+depth / in-flight occupancy are published as gauges, so a dashboard can
+watch the backlog breathe.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.observability import metrics as _metrics
+
+__all__ = [
+    "TenantQuota",
+    "AdmissionController",
+    "AdmissionDecision",
+]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    ``max_inflight`` bounds the tenant's admitted-but-unfinished requests
+    (queued + running).  The default is deliberately generous — quotas
+    exist to stop a runaway tenant, not to ration a healthy one.
+    """
+
+    max_inflight: int = 1 << 16
+
+    def __post_init__(self):
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission attempt.
+
+    ``admitted`` is True when the request may enter the queue; otherwise
+    ``reason`` names the bound that rejected it (``"queue_full"`` or
+    ``"quota"``) — it becomes the response status verbatim.
+    """
+
+    admitted: bool
+    reason: str | None = None
+
+
+class AdmissionController:
+    """Shared admission state: queue depth + per-tenant in-flight counts.
+
+    Thread-safe; the three transitions mirror a request's life:
+
+    ``try_admit(tenant)``   caller thread, before enqueue
+    ``dequeued()``          worker thread, after pulling from the queue
+    ``finished(tenant)``    worker thread, after the response is resolved
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 1024,
+        default_quota: TenantQuota | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = int(max_queue)
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self._lock = threading.Lock()
+        self._queue_depth = 0
+        self._inflight: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def try_admit(self, tenant: str) -> AdmissionDecision:
+        """Admit one request for ``tenant``, or say why not."""
+        with self._lock:
+            if self._queue_depth >= self.max_queue:
+                decision = AdmissionDecision(False, "queue_full")
+            elif self._inflight.get(tenant, 0) >= self.quota_for(tenant).max_inflight:
+                decision = AdmissionDecision(False, "quota")
+            else:
+                self._queue_depth += 1
+                self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+                decision = AdmissionDecision(True)
+            depth = self._queue_depth
+        if decision.admitted:
+            _metrics.record("service.admitted", tenant=tenant)
+        else:
+            _metrics.record("service.shed", tenant=tenant, reason=decision.reason)
+        if _metrics.metrics_enabled():
+            _metrics.REGISTRY.gauge("service.queue_depth").set(depth)
+        return decision
+
+    def dequeued(self) -> None:
+        """A worker pulled one request off the queue (slot freed)."""
+        with self._lock:
+            self._queue_depth -= 1
+            depth = self._queue_depth
+        if _metrics.metrics_enabled():
+            _metrics.REGISTRY.gauge("service.queue_depth").set(depth)
+
+    def finished(self, tenant: str) -> None:
+        """A request for ``tenant`` resolved (ok, error, or timed out)."""
+        with self._lock:
+            n = self._inflight.get(tenant, 0) - 1
+            if n > 0:
+                self._inflight[tenant] = n
+            else:
+                self._inflight.pop(tenant, None)
+
+    # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queue_depth
+
+    def inflight(self, tenant: str | None = None) -> int:
+        """In-flight requests for one tenant, or the total."""
+        with self._lock:
+            if tenant is not None:
+                return self._inflight.get(tenant, 0)
+            return sum(self._inflight.values())

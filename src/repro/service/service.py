@@ -1,0 +1,335 @@
+"""The multi-tenant compile-and-solve service.
+
+:class:`CompileSolveService` is a long-running front end over the
+compiler and solvers: an asyncio-friendly submission surface feeding a
+bounded backlog drained by a pool of worker threads.  The request path:
+
+1. **Admission** (caller's thread, microseconds): the
+   :class:`~repro.service.admission.AdmissionController` sheds the
+   request if the backlog is full or the tenant is over quota — the
+   returned future resolves *immediately* with a ``"shed"`` /
+   ``"rejected"`` response; nothing rejected ever occupies a worker.
+2. **Queue** (bounded by admission): FIFO hand-off to the workers.  Each
+   request carries a deadline; one that waited past it is answered
+   ``"timed_out"`` at dequeue — stale work is dropped, not run.
+3. **Handler** (worker thread): compile requests go through the shared
+   :class:`~repro.compiler.plan_cache.PlanCache` single-flight, so any
+   number of concurrent requests for one structural key pay for exactly
+   one compilation; solves run the ordinary solver entry points whose
+   SpMV compiles through the same cache.
+4. **Response**: every request — served, shed, timed out, or failed —
+   resolves its future with a :class:`ServiceResponse` carrying queue /
+   handle / total latency splits, and is attributed end to end with a
+   ``service.request`` span plus ``service.requests{kind,tenant,status}``
+   and latency-histogram metrics.
+
+Synchronous callers use :meth:`CompileSolveService.request` (or the
+``compile`` / ``solve_cg`` / ``solve_jacobi`` wrappers); asyncio callers
+``await`` :meth:`CompileSolveService.request_async` — thousands of
+concurrent awaits multiplex onto the fixed worker pool.
+
+    >>> with CompileSolveService(ServiceConfig(workers=4)) as svc:
+    ...     resp = svc.solve_cg(A, b, tenant="alice")
+    ...     assert resp.status == "ok"
+    ...     x = resp.value["x"]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.compiler.kernels import KERNEL_CACHE
+from repro.compiler.plan_cache import PlanCache
+from repro.errors import ServiceError
+from repro.observability import metrics as _metrics
+from repro.observability import trace as _trace
+from repro.runtime.schedule_cache import ScheduleCache
+from repro.service.admission import AdmissionController, TenantQuota
+from repro.service.handlers import BUILTIN_HANDLERS, ServiceContext
+
+__all__ = ["ServiceConfig", "ServiceResponse", "CompileSolveService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    ``plan_cache=None`` shares the process-global kernel cache
+    (:data:`~repro.compiler.kernels.KERNEL_CACHE`) — the normal choice:
+    tenants share *structure*, never data.  Pass a private
+    :class:`PlanCache` for an isolated instance (tests do).
+    """
+
+    workers: int = 4
+    max_queue: int = 1024
+    #: seconds a request may wait in the queue before being dropped as
+    #: ``"timed_out"``; None waits forever
+    queue_timeout: float | None = 30.0
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    plan_cache: PlanCache | None = None
+    schedule_cache: ScheduleCache | None = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_timeout is not None and self.queue_timeout <= 0:
+            raise ValueError("queue_timeout must be positive (or None)")
+
+
+@dataclass
+class ServiceResponse:
+    """What every request resolves to — success or not, never an exception.
+
+    ``status`` is one of ``"ok"``, ``"error"`` (handler raised; see
+    ``error``), ``"shed"`` (queue full), ``"rejected"`` (tenant over
+    quota), ``"timed_out"`` (waited past its deadline).  The latency
+    split: ``queue_ms`` (admission → dequeue) + ``handle_ms`` (handler
+    runtime) ≈ ``total_ms`` (admission → resolution).
+    """
+
+    request_id: int
+    tenant: str
+    kind: str
+    status: str
+    value: dict | None = None
+    error: str | None = None
+    queue_ms: float = 0.0
+    handle_ms: float = 0.0
+    total_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _PendingRequest:
+    request_id: int
+    kind: str
+    tenant: str
+    payload: dict
+    future: Future
+    t_submit: float
+    deadline: float | None
+
+
+class CompileSolveService:
+    """Asyncio-friendly, thread-pooled compile-and-solve front end."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            default_quota=self.config.default_quota,
+            quotas=self.config.quotas,
+        )
+        # explicit None check: an *empty* PlanCache is falsy (__len__ == 0)
+        self.context = ServiceContext(
+            plan_cache=(
+                KERNEL_CACHE if self.config.plan_cache is None
+                else self.config.plan_cache
+            ),
+            schedule_cache=self.config.schedule_cache,
+        )
+        self._handlers = dict(BUILTIN_HANDLERS)
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads: list[threading.Thread] = []
+        self._ids = itertools.count(1)
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+        #: response-status tallies, kept service-side so tests and the
+        #: load generator need not enable the global metrics registry
+        self._status_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "CompileSolveService":
+        with self._state_lock:
+            if self._started:
+                raise ServiceError("service already started")
+            self._started = True
+            for i in range(self.config.workers):
+                t = threading.Thread(
+                    target=self._worker, name=f"repro-service-{i}", daemon=True
+                )
+                t.start()
+                self._threads.append(t)
+        return self
+
+    def stop(self) -> None:
+        """Drain the backlog, then stop the workers (idempotent)."""
+        with self._state_lock:
+            if not self._started or self._stopped:
+                self._stopped = True
+                return
+            self._stopped = True
+        for _ in self._threads:
+            self._queue.put(None)  # one stop token per worker, after backlog
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "CompileSolveService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def register(self, kind: str, handler) -> None:
+        """Add a custom request kind (``handler(payload, ctx) -> dict``)."""
+        self._handlers[kind] = handler
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        payload: dict,
+        tenant: str = "default",
+        timeout: float | None = None,
+    ) -> Future:
+        """Admit and enqueue one request; returns a future of the response.
+
+        Admission failures resolve the future immediately (status
+        ``"shed"`` / ``"rejected"``) — the only exceptions raised here are
+        caller bugs: unknown ``kind`` or a stopped service.
+        """
+        if kind not in self._handlers:
+            raise ServiceError(
+                f"unknown request kind {kind!r}; have {sorted(self._handlers)}"
+            )
+        with self._state_lock:
+            if self._stopped or not self._started:
+                raise ServiceError("service is not running (start() it first)")
+        rid = next(self._ids)
+        fut: Future = Future()
+        t0 = time.perf_counter()
+        decision = self.admission.try_admit(tenant)
+        if not decision.admitted:
+            status = "shed" if decision.reason == "queue_full" else "rejected"
+            self._resolve(
+                fut,
+                ServiceResponse(rid, tenant, kind, status),
+                t0,
+            )
+            return fut
+        window = timeout if timeout is not None else self.config.queue_timeout
+        self._queue.put(
+            _PendingRequest(
+                request_id=rid,
+                kind=kind,
+                tenant=tenant,
+                payload=payload,
+                future=fut,
+                t_submit=t0,
+                deadline=None if window is None else t0 + window,
+            )
+        )
+        return fut
+
+    def request(self, kind: str, payload: dict, tenant: str = "default",
+                timeout: float | None = None) -> ServiceResponse:
+        """Synchronous round trip: submit and wait for the response."""
+        return self.submit(kind, payload, tenant, timeout).result()
+
+    async def request_async(self, kind: str, payload: dict,
+                            tenant: str = "default",
+                            timeout: float | None = None) -> ServiceResponse:
+        """Awaitable round trip for asyncio front ends — any number of
+        these multiplex onto the worker pool."""
+        return await asyncio.wrap_future(self.submit(kind, payload, tenant, timeout))
+
+    # convenience wrappers --------------------------------------------
+    def compile(self, source, formats, tenant: str = "default", **opts) -> ServiceResponse:
+        return self.request("compile", {"source": source, "formats": formats, **opts}, tenant)
+
+    def solve_cg(self, A, b, tenant: str = "default", **opts) -> ServiceResponse:
+        return self.request("solve_cg", {"A": A, "b": b, **opts}, tenant)
+
+    def solve_jacobi(self, A, b, tenant: str = "default", **opts) -> ServiceResponse:
+        return self.request("solve_jacobi", {"A": A, "b": b, **opts}, tenant)
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            self.admission.dequeued()
+            t_dequeue = time.perf_counter()
+            queue_ms = (t_dequeue - item.t_submit) * 1e3
+            try:
+                if item.deadline is not None and t_dequeue > item.deadline:
+                    resp = ServiceResponse(
+                        item.request_id, item.tenant, item.kind,
+                        "timed_out", queue_ms=queue_ms,
+                    )
+                else:
+                    resp = self._handle(item, queue_ms)
+            finally:
+                self.admission.finished(item.tenant)
+            self._resolve(item.future, resp, item.t_submit)
+
+    def _handle(self, item: _PendingRequest, queue_ms: float) -> ServiceResponse:
+        handler = self._handlers[item.kind]
+        with _trace.span(
+            "service.request",
+            request_id=item.request_id,
+            kind=item.kind,
+            tenant=item.tenant,
+        ) as sp:
+            t0 = time.perf_counter()
+            try:
+                value = handler(item.payload, self.context)
+                status, error = "ok", None
+            except Exception as exc:  # handler failure = request failure,
+                value = None          # never a worker death
+                status, error = "error", f"{type(exc).__name__}: {exc}"
+            handle_ms = (time.perf_counter() - t0) * 1e3
+            sp.set(status=status, queue_ms=round(queue_ms, 3))
+            if status == "ok" and isinstance(value, dict) and "outcome" in value:
+                sp.set(cache_outcome=value["outcome"])
+        return ServiceResponse(
+            item.request_id, item.tenant, item.kind, status,
+            value=value, error=error, queue_ms=queue_ms, handle_ms=handle_ms,
+        )
+
+    def _resolve(self, fut: Future, resp: ServiceResponse, t_submit: float) -> None:
+        resp.total_ms = (time.perf_counter() - t_submit) * 1e3
+        with self._state_lock:
+            self._status_counts[resp.status] = (
+                self._status_counts.get(resp.status, 0) + 1
+            )
+        _metrics.record(
+            "service.requests", kind=resp.kind, tenant=resp.tenant,
+            status=resp.status,
+        )
+        _metrics.observe("service.total_ms", resp.total_ms, kind=resp.kind)
+        if resp.status in ("ok", "error"):
+            _metrics.observe("service.queue_ms", resp.queue_ms, kind=resp.kind)
+            _metrics.observe("service.handle_ms", resp.handle_ms, kind=resp.kind)
+        fut.set_result(resp)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service-side snapshot: response-status tallies, backlog, and
+        the shared plan-cache counters."""
+        with self._state_lock:
+            counts = dict(self._status_counts)
+        return {
+            "responses": counts,
+            "queue_depth": self.admission.queue_depth(),
+            "inflight": self.admission.inflight(),
+            "plan_cache": self.context.plan_cache.stats(),
+        }

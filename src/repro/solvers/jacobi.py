@@ -15,11 +15,19 @@ from repro.kernels.spmv import spmv
 __all__ = ["jacobi"]
 
 
-def jacobi(A: Format, b, tol: float = 1e-8, maxiter: int = 1000, omega: float = 1.0):
+def jacobi(
+    A: Format,
+    b,
+    tol: float = 1e-8,
+    maxiter: int = 1000,
+    omega: float = 1.0,
+    backend: str | None = None,
+):
     """(Weighted) Jacobi solve; returns (x, iterations, final_residual).
 
     Requires a nonzero diagonal; convergence needs the usual spectral
-    condition (diagonal dominance suffices).
+    condition (diagonal dominance suffices).  ``backend`` selects the
+    executor backend the SpMV compiles through.
     """
     b = np.asarray(b, dtype=np.float64)
     diag = A.to_coo().diagonal()
@@ -30,7 +38,7 @@ def jacobi(A: Format, b, tol: float = 1e-8, maxiter: int = 1000, omega: float = 
     bnorm = float(np.linalg.norm(b)) or 1.0
     res = float("inf")
     for it in range(1, maxiter + 1):
-        r = b - spmv(A, x)
+        r = b - spmv(A, x, backend=backend)
         res = float(np.linalg.norm(r))
         if res <= tol * bnorm:
             return x, it - 1, res

@@ -174,4 +174,10 @@ def test_clear_resets_entries_and_stats(coo):
     compile_kernel(SPMV_SRC, fmts)
     compile_kernel(SPMV_SRC, fmts)
     clear_kernel_cache()
-    assert kernel_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+    assert kernel_cache_stats() == {
+        "hits": 0,
+        "misses": 0,
+        "coalesced": 0,
+        "evictions": 0,
+        "size": 0,
+    }

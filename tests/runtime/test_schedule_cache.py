@@ -154,6 +154,24 @@ def test_partial_hit_falls_back_collectively():
     assert sorted(calls) == [0, 1]
 
 
+def test_partial_hit_counts_as_rejected_not_miss():
+    # the warm rank lost the agreement through no fault of its cache: that
+    # is a *rejection*, and the miss counters must not be skewed by it
+    nprocs = 2
+    warm, cold = ScheduleCache(), ScheduleCache()
+    calls: list[int] = []
+    _run_cached([warm, warm], nprocs, calls)  # warm both entries into `warm`
+    assert warm.stats.misses == nprocs
+    _run_cached([warm, cold], nprocs, calls)
+    assert warm.stats.rejected == 1
+    assert warm.stats.misses == nprocs  # unchanged: the entry WAS valid
+    assert warm.stats.hits == 0
+    assert cold.stats.rejected == 0
+    assert cold.stats.misses == 1  # genuinely cold rank records the miss
+    d = warm.stats.as_dict()
+    assert d["rejected"] == 1 and d["misses"] == nprocs
+
+
 def test_none_cache_is_transparent():
     nprocs = 2
     calls: list[int] = []
