@@ -1,10 +1,14 @@
 """Static analysis & verification for the Bernoulli pipeline.
 
-Six passes over the artifacts the compiler and runtime otherwise take
+Seven passes over the artifacts the compiler and runtime otherwise take
 on faith, each reporting :class:`~repro.analysis.diagnostics.Diagnostic`
 findings with stable ``BER0xx`` codes:
 
 * :mod:`repro.analysis.doany` — is the loop nest really DOANY?
+* :mod:`repro.analysis.depend` — *how* parallel is it?  Classification
+  into the lattice ``DOALL ⊏ DOANY ⊏ REDUCTION(op) ⊏ SEQUENTIAL`` with
+  per-verdict evidence, checkable certificates, and a mutation
+  self-check.
 * :mod:`repro.analysis.contracts` — do formats deliver the access-method
   properties their levels declare?
 * :mod:`repro.analysis.lint` — are the chosen plans and the emitted
@@ -18,9 +22,9 @@ findings with stable ``BER0xx`` codes:
   loss-free cover (no dropped, double-counted, or shifted entries), and
   does the auditor catch seeded partition defects?
 
-``python -m repro.analysis`` runs them from the command line; the DOANY
-checker also runs inside :func:`~repro.compiler.compile_kernel` (the
-``verify=`` parameter), and the schedule checker re-verifies
+``python -m repro.analysis`` runs them from the command line; the
+dependence classifier also gates :func:`~repro.compiler.compile_kernel`
+(the ``verify=`` parameter), and the schedule checker re-verifies
 fault-recovery rebuilds inside the runtime.
 """
 
@@ -37,6 +41,7 @@ from repro.analysis.registry import AnalysisPass, all_passes, get_pass, register
 # importing the pass modules registers their sweep runners
 from repro.analysis import (  # noqa: E402,F401
     contracts,
+    depend,
     doany,
     lint,
     regions,
@@ -44,6 +49,13 @@ from repro.analysis import (  # noqa: E402,F401
     structure,
 )
 from repro.analysis.contracts import audit_format, audit_registered_formats
+from repro.analysis.depend import (
+    ParallelismCertificate,
+    check_certificate,
+    classify_program,
+    classify_source,
+    run_depend_selfcheck,
+)
 from repro.analysis.regions import audit_partition
 from repro.analysis.doany import check_program, check_source
 from repro.analysis.lint import lint_generated_source, lint_kernel, lint_plan
@@ -72,6 +84,11 @@ __all__ = [
     "all_passes",
     "check_program",
     "check_source",
+    "ParallelismCertificate",
+    "classify_program",
+    "classify_source",
+    "check_certificate",
+    "run_depend_selfcheck",
     "audit_format",
     "audit_registered_formats",
     "lint_plan",

@@ -15,6 +15,11 @@ Examples::
     # dependence-check + lint the kernels under a directory (*.loop files)
     python -m repro.analysis --kernels examples/
 
+    # classify kernels into the parallelism lattice (DOALL / DOANY /
+    # REDUCTION(op) / SEQUENTIAL) with per-loop evidence; --json carries
+    # the full ParallelismCertificate payload per file
+    python -m repro.analysis --depend examples/kernels --json certs.json
+
     # machine-readable report for CI artifacts; exit 1 on any error
     python -m repro.analysis --all --json diagnostics.json
 
@@ -23,6 +28,13 @@ against probe formats chosen by convention — assignment targets get
 writable dense storage, other matrices a CRS probe, vectors dense — so
 the plan and the generated code can be linted without the caller wiring
 up storage.
+
+A kernel file may declare ``# depend: sequential`` in a comment: the file
+documents a deliberately loop-carried nest (a teaching example or a
+negative test).  ``--kernels`` then *requires* the dependence checker to
+find the carried dependence — reporting it as info, not error — and skips
+the compile/lint step (the gate would rightly refuse); a stale directive
+on an actually-parallel kernel is itself an error.
 """
 
 from __future__ import annotations
@@ -79,6 +91,15 @@ def _probe_formats(program):
     return formats
 
 
+def _declared_sequential(source: str) -> bool:
+    """True when the file carries a ``# depend: sequential`` directive."""
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#") and "depend:" in stripped:
+            return "sequential" in stripped.split("depend:", 1)[1]
+    return False
+
+
 def _check_kernel_file(path: Path) -> DiagnosticReport:
     from repro.compiler import compile_kernel
     from repro.compiler.parser import parse
@@ -99,6 +120,34 @@ def _check_kernel_file(path: Path) -> DiagnosticReport:
             )
         )
         return report
+    if _declared_sequential(source):
+        findings = check_program(program, source=source)
+        if findings.ok:
+            report.add(
+                Diagnostic(
+                    "BER062",
+                    ERROR,
+                    "kernel declares '# depend: sequential' but the "
+                    "dependence checker found no carried dependence — "
+                    "stale directive (drop it, or restore the dependence)",
+                    pass_name="cli",
+                    location=str(path),
+                )
+            )
+        else:
+            report.add(
+                Diagnostic(
+                    "BER060",
+                    "info",
+                    "kernel is declared sequential and the dependence "
+                    "checker confirms a carried dependence "
+                    f"({len(findings.errors())} finding(s)); compile/lint "
+                    "skipped",
+                    pass_name="cli",
+                    location=str(path),
+                )
+            )
+        return report
     report.extend(check_program(program, source=source))
     try:
         formats = _probe_formats(program)
@@ -117,6 +166,35 @@ def _check_kernel_file(path: Path) -> DiagnosticReport:
         )
         return report
     report.extend(lint_kernel(kern, formats, where=str(path)))
+    return report
+
+
+def _depend_kernel_file(path: Path, certificates: dict) -> DiagnosticReport:
+    """Classify one kernel file into the parallelism lattice."""
+    from repro.analysis.depend import classify_source
+    from repro.errors import ParseError
+
+    source = path.read_text()
+    report = DiagnosticReport()
+    try:
+        cls = classify_source(source, gate=False)
+    except ParseError as e:
+        report.add(
+            Diagnostic(
+                "BER001",
+                ERROR,
+                f"kernel does not parse: {e}",
+                pass_name="cli",
+                location=str(path),
+            )
+        )
+        return report
+    certificates[str(path)] = cls.certificate.to_dict()
+    per_loop = ", ".join(
+        f"{lv.var}: {lv.verdict.label()}" for lv in cls.loops
+    )
+    print(f"{path}: {cls.verdict.label()}  [{per_loop}]")
+    report.extend(cls.report)
     return report
 
 
@@ -189,6 +267,15 @@ def main(argv=None) -> int:
         help="dependence-check + lint *.loop kernel files (dirs recurse)",
     )
     ap.add_argument(
+        "--depend",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="classify *.loop kernel files into the parallelism lattice "
+        "(DOALL / DOANY / REDUCTION(op) / SEQUENTIAL) with per-loop "
+        "evidence; --json carries each file's certificate payload",
+    )
+    ap.add_argument(
         "--structure",
         nargs="+",
         default=None,
@@ -242,6 +329,7 @@ def main(argv=None) -> int:
         report.extend(passes[name].run())
         executed.append(name)
         ran = True
+    certificates: dict[str, dict] = {}
     if args.kernels:
         files = _discover_kernels(args.kernels)
         if not files:
@@ -249,6 +337,14 @@ def main(argv=None) -> int:
         for path in files:
             report.extend(_check_kernel_file(path))
         executed.append("kernels")
+        ran = True
+    if args.depend:
+        files = _discover_kernels(args.depend)
+        if not files:
+            ap.error(f"no kernel files found under {args.depend}")
+        for path in files:
+            report.extend(_depend_kernel_file(path, certificates))
+        executed.append("depend-files")
         ran = True
     if args.structure:
         for path in args.structure:
@@ -266,7 +362,10 @@ def main(argv=None) -> int:
         print(rendered)
     print(report.summary())
     if args.json:
-        payload = report.to_json(passes=executed)
+        payload = report.to_json(
+            passes=executed,
+            extra={"certificates": certificates} if certificates else None,
+        )
         if args.json == "-":
             print(payload)
         else:

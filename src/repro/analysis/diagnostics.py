@@ -17,6 +17,7 @@ BER030-034 plan & generated-code linter (:mod:`repro.analysis.lint`)
 BER040-045 SPMD schedule checker (:mod:`repro.analysis.schedule`)
 BER050-055 sparsity-structure analyzer (:mod:`repro.analysis.structure`)
 BER056-059 region-partition auditor (:mod:`repro.analysis.regions`)
+BER060-069 dependence & reduction analyzer (:mod:`repro.analysis.depend`)
 =========  ==========================================================
 """
 
@@ -127,6 +128,32 @@ class DiagnosticReport:
         """True when no error-severity diagnostics were recorded."""
         return not self.errors()
 
+    # ------------------------------------------------------------------
+    def dedupe(self) -> "DiagnosticReport":
+        """Drop exact-duplicate diagnostics in place; returns self.
+
+        Two diagnostics are duplicates when code, severity, message,
+        pass, location *and* source span all match — re-analyzing the
+        same artifact (e.g. linting a kernel served twice from a warm
+        plan cache) must not inflate the report.  First occurrences win,
+        order is preserved."""
+        seen: set[tuple] = set()
+        kept: list[Diagnostic] = []
+        for d in self.diagnostics:
+            key = (
+                d.code,
+                d.severity,
+                d.message,
+                d.pass_name,
+                d.location,
+                (d.span.start, d.span.end) if d.span is not None else None,
+            )
+            if key not in seen:
+                seen.add(key)
+                kept.append(d)
+        self.diagnostics = kept
+        return self
+
     def __len__(self) -> int:
         return len(self.diagnostics)
 
@@ -151,10 +178,12 @@ class DiagnosticReport:
             f"warning(s), {len(self.infos())} info"
         )
 
-    def to_json(self, indent: int | None = 2, passes=None) -> str:
+    def to_json(self, indent: int | None = 2, passes=None, extra=None) -> str:
         """JSON payload; ``passes`` lists the pass names that produced
         this report (CI consumers need to tell "pass ran clean" apart
-        from "pass never ran")."""
+        from "pass never ran").  ``extra`` merges additional top-level
+        keys into the document (e.g. the CLI's per-file parallelism
+        certificates) without colliding with the report's own keys."""
         doc = {
             "summary": {
                 "errors": len(self.errors()),
@@ -165,4 +194,9 @@ class DiagnosticReport:
         }
         if passes is not None:
             doc["passes"] = list(passes)
+        if extra:
+            for key in extra:
+                if key in doc:
+                    raise ValueError(f"extra key {key!r} collides with the report")
+            doc.update(extra)
         return json.dumps(doc, indent=indent)

@@ -158,7 +158,9 @@ def check_program(program: Program, source: str | None = None) -> DiagnosticRepo
                     stmt_clean[wk] = stmt_clean[rk] = False
             # write vs write (output dependence)
             if s1.target.array == s2.target.array:
-                both_reduce = s1.reduce and s2.reduce
+                # updates commute with each other only under the SAME
+                # combine operator ('+=' then '*=' is order-sensitive)
+                both_reduce = s1.reduce and s2.reduce and s1.op == s2.op
                 same_elem = s1.target.indices == s2.target.indices and _covers(
                     s1.target.indices, loop_vars
                 )

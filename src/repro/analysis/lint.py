@@ -198,14 +198,22 @@ def lint_generated_source(
 # ----------------------------------------------------------------------
 # whole-kernel entry point
 # ----------------------------------------------------------------------
-def lint_kernel(kernel, formats=None, where: str = "kernel") -> DiagnosticReport:
+def lint_kernel(
+    kernel, formats=None, where: str = "kernel", into: DiagnosticReport | None = None
+) -> DiagnosticReport:
     """Lint a :class:`~repro.compiler.kernels.CompiledKernel`: every
     unit's plan, the backend lowering labels, and the emitted source.
 
     Pass ``formats`` (the instances the kernel was compiled against) to
     get level-aware plan messages; without it plan lint still runs but
-    cannot say whether a search was available."""
-    report = DiagnosticReport()
+    cannot say whether a search was available.
+
+    ``into`` accumulates findings into an existing report instead of a
+    fresh one.  Either way the result is deduplicated: linting the same
+    kernel object twice (a warm :class:`~repro.compiler.plan_cache.PlanCache`
+    serves one kernel to every identical compile) reports each finding
+    once, not once per compile."""
+    report = into if into is not None else DiagnosticReport()
     for k, unit in enumerate(kernel.units):
         report.extend(
             lint_plan(unit.plan, formats, where=f"{where}, unit [{k}]")
@@ -230,7 +238,7 @@ def lint_kernel(kernel, formats=None, where: str = "kernel") -> DiagnosticReport
             where=f"{where} source",
         )
     )
-    return report
+    return report.dedupe()
 
 
 # ----------------------------------------------------------------------

@@ -23,12 +23,19 @@ __all__ = [
     "Ref",
     "BinOp",
     "Neg",
+    "MinMax",
     "Stmt",
     "Assign",
     "LoopSpec",
     "Program",
+    "REDUCTION_OPS",
     "normalize_statement",
+    "normalize_program",
 ]
+
+#: combine operators a reduction statement may use — each one is
+#: associative and commutative, so iterations may execute in any order
+REDUCTION_OPS = ("+", "*", "min", "max")
 
 
 class Expr:
@@ -138,13 +145,47 @@ class Neg(Expr):
         return f"(-{self.operand!r})"
 
 
+@dataclass(frozen=True)
+class MinMax(Expr):
+    """``min(a, b)`` / ``max(a, b)`` — the lattice combine primitives.
+
+    ``fn`` is ``"min"`` or ``"max"``.  These exist so reduction updates
+    like ``M[i] = min(M[i], A[i,j])`` can be written (and recognized by
+    :func:`normalize_statement` as ``min``-reductions).
+    """
+
+    fn: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.fn not in ("min", "max"):
+            raise ParseError(f"unknown combiner {self.fn!r}")
+
+    def refs(self):
+        return self.left.refs() + self.right.refs()
+
+    def scalars(self):
+        return self.left.scalars() | self.right.scalars()
+
+    def __repr__(self):
+        return f"{self.fn}({self.left!r}, {self.right!r})"
+
+
 class Stmt:
     """Base class of statements."""
 
 
 @dataclass(frozen=True)
 class Assign(Stmt):
-    """``target = expr`` (``reduce=False``) or ``target += expr``.
+    """``target = expr`` (``reduce=False``) or ``target ⊕= expr``.
+
+    ``op`` is the reduction's combine operator (one of
+    :data:`REDUCTION_OPS`; meaningful only when ``reduce=True`` — plain
+    assignments keep the default ``"+"``).  All four combine operators
+    are associative and commutative, so a reduction's iterations commute
+    with each other; which ones a given lowering exploits is the
+    dependence analyzer's and the backends' business.
 
     Plain assignment with a sparse right-hand side is compiled as
     "zero-fill then guarded accumulate", which requires that the RHS does
@@ -154,11 +195,21 @@ class Assign(Stmt):
     target: Ref
     expr: Expr
     reduce: bool = False
+    #: combine operator of a reduction ("+", "*", "min", "max")
+    op: str = "+"
     #: source span of the whole statement (see :class:`Ref.span`)
     span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
+    def __post_init__(self):
+        if self.op not in REDUCTION_OPS:
+            raise ParseError(f"unknown reduction operator {self.op!r}")
+        if not self.reduce and self.op != "+":
+            raise ParseError(
+                f"plain assignment cannot carry reduction operator {self.op!r}"
+            )
+
     def __repr__(self):
-        op = "+=" if self.reduce else "="
+        op = f"{self.op}=" if self.reduce else "="
         return f"{self.target!r} {op} {self.expr!r}"
 
 
@@ -220,16 +271,35 @@ class Program(Stmt):
 
 
 def normalize_statement(stmt: Assign) -> Assign:
-    """Rewrite ``Y[i] = Y[i] + e`` (or ``e + Y[i]``) into ``Y[i] += e``.
+    """Recognize self-updates as reductions; reject unrecognized self-reads.
+
+    The recognized associative/commutative update forms are rewritten to
+    ``Assign(reduce=True, op=⊕)`` with the self-read removed from the RHS:
+
+    * ``x[e] = x[e] + rhs`` (either order) → ``op="+"``,
+    * ``x[e] = x[e] - rhs``                → ``op="+"`` of ``-rhs``,
+    * ``x[e] = x[e] * rhs`` (either order) → ``op="*"``,
+    * ``x[e] = min(x[e], rhs)`` / ``max``  → ``op="min"`` / ``"max"``.
 
     Raises :class:`ParseError` for a plain assignment whose RHS still reads
-    the target after normalization (zero-fill compilation would be wrong).
+    the target after normalization (zero-fill compilation would be wrong),
+    e.g. a non-associative self-update like ``x[e] = x[e] / rhs``.
     """
-    if not stmt.reduce and isinstance(stmt.expr, BinOp) and stmt.expr.op == "+":
-        if stmt.expr.left == stmt.target:
-            stmt = Assign(stmt.target, stmt.expr.right, reduce=True, span=stmt.span)
-        elif stmt.expr.right == stmt.target:
-            stmt = Assign(stmt.target, stmt.expr.left, reduce=True, span=stmt.span)
+    if not stmt.reduce:
+        e = stmt.expr
+        if isinstance(e, BinOp) and e.op in ("+", "*"):
+            red = "+" if e.op == "+" else "*"
+            if e.left == stmt.target:
+                stmt = Assign(stmt.target, e.right, reduce=True, op=red, span=stmt.span)
+            elif e.right == stmt.target:
+                stmt = Assign(stmt.target, e.left, reduce=True, op=red, span=stmt.span)
+        elif isinstance(e, BinOp) and e.op == "-" and e.left == stmt.target:
+            stmt = Assign(stmt.target, Neg(e.right), reduce=True, span=stmt.span)
+        elif isinstance(e, MinMax):
+            if e.left == stmt.target:
+                stmt = Assign(stmt.target, e.right, reduce=True, op=e.fn, span=stmt.span)
+            elif e.right == stmt.target:
+                stmt = Assign(stmt.target, e.left, reduce=True, op=e.fn, span=stmt.span)
     if not stmt.reduce:
         offender = next(
             (r for r in stmt.expr.refs() if r.array == stmt.target.array), None
@@ -241,3 +311,11 @@ def normalize_statement(stmt: Assign) -> Assign:
                 span=offender.span or stmt.span,
             )
     return stmt
+
+
+def normalize_program(program: Program) -> Program:
+    """Normalize every statement (idempotent; parser output is a no-op)."""
+    body = tuple(normalize_statement(s) for s in program.body)
+    if body == program.body:
+        return program
+    return Program(program.loops, body)

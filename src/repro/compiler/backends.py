@@ -125,6 +125,11 @@ VECTORIZED = ExecutorBackend(
         LoweringStrategy(
             "vectorized", codegen._vectorizable, codegen._emit_vector_nest
         ),
+        LoweringStrategy(
+            "reduce-scatter",
+            codegen._reduction_scatter_applies,
+            codegen._emit_vector_nest,
+        ),
     ),
     description="numpy slice/gather/segmented-reduction lowering with "
     "per-statement fallback to the interpreted nest",

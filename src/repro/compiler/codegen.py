@@ -16,6 +16,12 @@ for which plan is an :class:`~repro.compiler.backends.ExecutorBackend`:
   ``np.add.reduceat`` for segmented reductions).  This plays the role of
   the paper's generated C code: it exploits exactly the contiguity the
   formats were designed to expose.
+* **reduce-scatter** — the op-aware variant for non-additive reductions
+  the dependence analyzer certifies (``REDUCTION(op)``, op ∈ ``*``,
+  ``min``, ``max``): the same vector shapes lowered through privatized
+  accumulation (``np.prod``/``.min()``/``.max()`` on contiguous views,
+  ``np.multiply.at``/``np.minimum.at``/``np.maximum.at`` for gather
+  scatters).  The additive strategies above stay ``+``-only.
 
 Generated functions take the formats' flat storage arrays (``A_rowptr``,
 ``X_vals``, ...) plus free scalars as keyword parameters and mutate the
@@ -161,7 +167,10 @@ def _emit_scalar_nest(
     value = _emit_expr_scalar(g, stmt.expr, formats, plan, st)
     out_fmt = formats[stmt.target.array]
     avm = {a: v for a, v in enumerate(stmt.target.indices)}
-    out_fmt.emit_accumulate(g, stmt.target.array, avm, None, value)
+    out_fmt.emit_accumulate(
+        g, stmt.target.array, avm, None, value,
+        op=stmt.op if stmt.reduce else "+",
+    )
     g.close(st.depth_opened)
 
 
@@ -194,7 +203,9 @@ def _multiplicative_factors(expr: Expr):
     return (sign, factors) if ok else None
 
 
-def _vectorizable(unit: KernelUnit, formats: dict[str, Format]) -> bool:
+def _vector_shape_ok(unit: KernelUnit, formats: dict[str, Format]) -> bool:
+    """Plan/expression shape the single-axis vectorizer can lower
+    (operator-agnostic — the strategies split on the statement's op)."""
     plan, stmt = unit.plan, unit.stmt
     if plan.noop or not plan.steps:
         return False
@@ -228,6 +239,31 @@ def _vectorizable(unit: KernelUnit, formats: dict[str, Format]) -> bool:
             term = plan.query.term_for(last.term)
             if ref.indices != term.indices:
                 return False
+    return True
+
+
+def _vectorizable(unit: KernelUnit, formats: dict[str, Format]) -> bool:
+    """The additive vectorizer: slice/gather lowering for '+' updates."""
+    stmt = unit.stmt
+    if stmt.reduce and stmt.op != "+":
+        return False
+    return _vector_shape_ok(unit, formats)
+
+
+def _reduction_scatter_applies(unit: KernelUnit, formats: dict[str, Format]) -> bool:
+    """Privatized-accumulation scatter for non-additive reductions
+    ('*', 'min', 'max') — the ufunc.at family handles duplicate targets."""
+    stmt = unit.stmt
+    if not (stmt.reduce and stmt.op != "+"):
+        return False
+    if not _vector_shape_ok(unit, formats):
+        return False
+    inner = set(unit.plan.steps[-1].binds)
+    if not any(v in inner for r in stmt.expr.refs() for v in r.indices):
+        # nothing varies over the vector axis: the per-entry contribution
+        # would be a broadcast scalar, which a combine like np.prod would
+        # count once instead of once per iteration — leave it scalar
+        return False
     return True
 
 
@@ -328,8 +364,9 @@ def _emit_vector_nest(
     target = stmt.target
     tgt_vec_axes = [v for v in target.indices if v in vec_map]
     out_name = f"{target.array}_vals"
+    red_op = stmt.op if stmt.reduce else "+"
 
-    if not tgt_vec_axes:
+    if not tgt_vec_axes and red_op == "+":
         # full reduction over the vector axis into a scalar target slot
         mults = [c for op, c in vector_parts if op == "*"]
         divs = [c for op, c in vector_parts if op == "/"]
@@ -343,6 +380,26 @@ def _emit_vector_nest(
         value = contrib if scal is None else f"({scal}) * {contrib}"
         tgt_idx = ", ".join(target.indices)
         g.emit(f"{out_name}[{tgt_idx}] += {value}")
+    elif not tgt_vec_axes:
+        # non-additive full reduction into a scalar slot: combine the
+        # per-entry contribution vector, guarding the empty slice (min/max
+        # of an empty slice is the identity — no entries, no combine)
+        contrib = chain(vector_parts)
+        if scalar_parts:
+            # scalars fold into every entry BEFORE the combine (they do
+            # not factor out of a product or a min the way they scale a sum)
+            contrib = f"({chain(scalar_parts)}) * {contrib}"
+        tgt_idx = ", ".join(target.indices)
+        if red_op == "*":
+            g.emit(f"{out_name}[{tgt_idx}] *= np.prod({contrib})")
+        else:
+            red_var = g.fresh("red")
+            g.emit(f"{red_var} = np.asarray({contrib})")
+            g.open(f"if {red_var}.size:")
+            fn = "np.minimum" if red_op == "min" else "np.maximum"
+            sel = f"{out_name}[{tgt_idx}]"
+            g.emit(f"{sel} = {fn}({sel}, {red_var}.{red_op}())")
+            g.close()
     else:
         contrib = chain(vector_parts, seed=None)
         if scalar_parts:
@@ -365,13 +422,26 @@ def _emit_vector_nest(
                     safe_inplace = safe_inplace or unique
             else:
                 idx_parts.append(v)
+        ufunc = {
+            "+": "np.add.at",
+            "*": "np.multiply.at",
+            "min": "np.minimum.at",
+            "max": "np.maximum.at",
+        }[red_op]
         if gather and not safe_inplace:
-            if len(idx_parts) == 1:
-                g.emit(f"np.add.at({out_name}, {idx_parts[0]}, {contrib})")
-            else:
-                g.emit(f"np.add.at({out_name}, ({', '.join(idx_parts)}), {contrib})")
+            # unbuffered ufunc scatter: duplicate target indices each get
+            # their own combine (privatized accumulation)
+            idx = idx_parts[0] if len(idx_parts) == 1 else f"({', '.join(idx_parts)})"
+            g.emit(f"{ufunc}({out_name}, {idx}, {contrib})")
         else:
-            g.emit(f"{out_name}[{', '.join(idx_parts)}] += {contrib}")
+            sel = f"{out_name}[{', '.join(idx_parts)}]"
+            if red_op == "+":
+                g.emit(f"{sel} += {contrib}")
+            elif red_op == "*":
+                g.emit(f"{sel} *= {contrib}")
+            else:
+                fn = "np.minimum" if red_op == "min" else "np.maximum"
+                g.emit(f"{sel} = {fn}({sel}, {contrib})")
     g.close(st.depth_opened)
 
 
@@ -407,6 +477,8 @@ def _block_plan_shape(unit: KernelUnit, formats: dict[str, Format]):
 
 
 def _block_vectorizable(unit: KernelUnit, formats: dict[str, Format]) -> bool:
+    if unit.stmt.reduce and unit.stmt.op != "+":
+        return False  # the GEMV collapse sums; other combines don't fit
     shape = _block_plan_shape(unit, formats)
     if shape is None:
         return False
@@ -548,6 +620,8 @@ def _segmented_plan_shape(unit: KernelUnit, formats: dict[str, Format]):
 
 
 def _segmented_vectorizable(unit: KernelUnit, formats: dict[str, Format]) -> bool:
+    if unit.stmt.reduce and unit.stmt.op != "+":
+        return False  # np.add.reduceat / .sum are additive by nature
     shape = _segmented_plan_shape(unit, formats)
     if shape is None:
         return False

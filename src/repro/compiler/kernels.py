@@ -26,7 +26,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.compiler import codegen
-from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Program
+from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Program, normalize_program
 from repro.compiler.backends import ExecutorBackend, resolve_backend
 from repro.compiler.codegen import KernelUnit
 from repro.compiler.parser import parse
@@ -108,6 +108,10 @@ class CompiledKernel:
     ):
         self.program = program
         self.units = units
+        #: :class:`~repro.analysis.depend.ParallelismCertificate` attached
+        #: by :func:`compile_kernel` when verification ran (None under
+        #: ``verify="off"``); re-validated on every plan-cache hit
+        self.certificate = None
         self.format_classes = {name: type(f) for name, f in formats.items()}
         self.format_specs = {name: f.spec() for name, f in formats.items()}
         #: name of the executor backend this kernel was lowered with
@@ -358,12 +362,18 @@ def compile_kernel(
     force_driver:
         Pin the planner's primary driver (ablation hook).
     verify:
-        DOANY dependence checking (:mod:`repro.analysis.doany`), run on
-        every compile (cache hits included — the check is pure tuple
-        algebra): ``"error"`` (default) raises
-        :class:`~repro.errors.VerificationError` when the nest is not
-        provably iteration-independent, ``"warn"`` downgrades findings
-        to a Python warning, ``"off"`` skips the check.
+        Dependence analysis (:mod:`repro.analysis.depend`), run on every
+        compile (cache hits included — the check is pure tuple algebra).
+        Every loop is classified into the parallelism lattice
+        DOALL ⊏ DOANY ⊏ REDUCTION(op) ⊏ SEQUENTIAL: DOALL/DOANY/REDUCTION
+        verdicts compile (REDUCTION through privatized-accumulation
+        lowerings), and a SEQUENTIAL verdict means the nest carries a real
+        dependence — ``"error"`` (default) raises
+        :class:`~repro.errors.VerificationError` with the witness access
+        pair, ``"warn"`` downgrades findings to a Python warning,
+        ``"off"`` skips the check.  The verdict is attached to the kernel
+        as a :class:`~repro.analysis.depend.ParallelismCertificate` and
+        independently re-validated (BER064) on every cache hit.
     extra_key:
         Extra cache-key components (hashable tuple).  Used by the
         auto-planner to join the structure-profile fingerprint to the
@@ -382,27 +392,32 @@ def compile_kernel(
         formats={n: type(f).__name__ for n, f in formats.items()},
     ) as sp:
         src_text = source if isinstance(source, str) else None
-        program = parse(source) if isinstance(source, str) else source
+        if isinstance(source, str):
+            program = parse(source)  # parser output is already normalized
+        else:
+            program = normalize_program(source)
         for name in program.arrays():
             if name not in formats:
                 raise CompileError(f"no format given for array {name!r}")
+        certificate = None
         if verify != "off":
-            from repro.analysis.doany import check_program
+            from repro.analysis.depend import classify_program
 
-            findings = check_program(program, source=src_text)
-            if not findings.ok:
+            cls = classify_program(program, source=src_text, gate=True)
+            certificate = cls.certificate
+            sp.set(verdict=cls.verdict.label())
+            if not cls.report.ok:
+                msg = (
+                    f"loop nest is {cls.verdict.label()} — not DOANY-safe:\n"
+                    + cls.report.render("error")
+                )
                 if verify == "error":
                     raise VerificationError(
-                        "loop nest is not DOANY-safe:\n"
-                        + findings.render("error"),
-                        diagnostics=tuple(findings.errors()),
+                        msg, diagnostics=tuple(cls.report.errors())
                     )
                 import warnings
 
-                warnings.warn(
-                    "loop nest is not DOANY-safe:\n" + findings.render("error"),
-                    stacklevel=2,
-                )
+                warnings.warn(msg, stacklevel=2)
         def build() -> CompiledKernel:
             _metrics.record("compiler.compilations")
             sparse = {
@@ -427,6 +442,7 @@ def compile_kernel(
                     )
                     units.append(KernelUnit(piece, plan))
             kern = CompiledKernel(program, units, formats, be)
+            kern.certificate = certificate
             sp.set(
                 units=len(units),
                 drivers=[u.plan.driver for u in units],
@@ -445,6 +461,21 @@ def compile_kernel(
                 key, build, backend=be.name
             )
             sp.set(cache_hit=outcome != "compiled", cache_outcome=outcome)
+            if outcome != "compiled" and verify != "off":
+                # never trust a cached plan's parallelism claim: re-validate
+                # the stored certificate against this request's program
+                if kern.certificate is None:
+                    kern.certificate = certificate
+                else:
+                    from repro.analysis.depend import check_certificate
+
+                    chk = check_certificate(program, kern.certificate)
+                    if not chk.ok:
+                        raise VerificationError(
+                            "cached plan's parallelism certificate failed "
+                            "validation:\n" + chk.render("error"),
+                            diagnostics=tuple(chk.errors()),
+                        )
         else:
             sp.set(cache_hit=False)
             kern = build()

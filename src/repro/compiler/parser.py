@@ -5,10 +5,11 @@ Grammar (whitespace-insensitive; ``#`` starts a line comment)::
     program := loop
     loop    := 'for' ID 'in' bound ':' bound '{' (loop | stmts) '}'
     stmts   := stmt (';'? stmt)*
-    stmt    := ref ('=' | '+=') expr
+    stmt    := ref ('=' | '+=' | '*=') expr
     expr    := term (('+' | '-') term)*
     term    := factor (('*' | '/') factor)*
     factor  := NUM | ref | ID | '(' expr ')' | '-' factor
+             | ('min' | 'max') '(' expr ',' expr ')'
     ref     := ID '[' ID (',' ID)* ']'
     bound   := NUM | ID
 
@@ -33,6 +34,7 @@ from repro.compiler.ast_nodes import (
     Assign,
     BinOp,
     LoopSpec,
+    MinMax,
     Neg,
     Num,
     Program,
@@ -51,7 +53,7 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+|\#[^\n]*)
   | (?P<num>\d+(\.\d+)?([eE][+-]?\d+)?)
   | (?P<id>[A-Za-z_]\w*)
-  | (?P<op>\+=|[{}\[\](),:;=+\-*/])
+  | (?P<op>\+=|\*=|[{}\[\](),:;=+\-*/])
     """,
     re.VERBOSE,
 )
@@ -158,12 +160,20 @@ class _Parser:
         start = self.span_here()
         target = self.parse_ref()
         op = self.next()
-        if op not in ("=", "+="):
-            raise self.error(f"expected '=' or '+=', got {op!r}", self.prev_span())
+        if op not in ("=", "+=", "*="):
+            raise self.error(
+                f"expected '=', '+=' or '*=', got {op!r}", self.prev_span()
+            )
         expr = self.parse_expr()
         stmt_span = start.merge(self.prev_span())
         return normalize_statement(
-            Assign(target, expr, reduce=(op == "+="), span=stmt_span)
+            Assign(
+                target,
+                expr,
+                reduce=(op != "="),
+                op=op[0] if op != "=" else "+",
+                span=stmt_span,
+            )
         )
 
     def parse_expr(self):
@@ -196,6 +206,13 @@ class _Parser:
             self.next()
             return Num(float(t))
         name = self.ident()
+        if name in ("min", "max") and self.peek() == "(":
+            self.next()
+            left = self.parse_expr()
+            self.expect(",")
+            right = self.parse_expr()
+            self.expect(")")
+            return MinMax(name, left, right)
         if self.peek() == "[":
             return self.finish_ref(name, self.prev_span())
         return Scalar(name)

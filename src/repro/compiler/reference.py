@@ -4,6 +4,21 @@ Runs a :class:`Program` naively over *dense* numpy views of the data —
 every iteration of every loop, no sparsity exploitation.  Compiled kernels
 must produce bit-identical structure (and numerically-close values, since
 summation order may differ) to this executor.
+
+Reduction semantics
+-------------------
+``+``-reductions accumulate over every iteration; skipping an iteration
+whose contribution is zero changes nothing, so dense and guarded-sparse
+execution agree.  The non-additive combine operators (``*``, ``min``,
+``max``) have no such absorbing identity: multiplying by a stored zero or
+taking ``min`` against an *implicit* zero is observable.  Compiled
+kernels follow the paper's guarded-execution model — they combine over
+the **stored entries** of the sparse operands only (the GraphBLAS monoid
+convention).  To make the reference match, pass ``sparse={"A", ...}``:
+iterations where any listed array reads exactly ``0.0`` are then skipped
+for non-``+`` reductions.  With the default ``sparse=()`` the reference
+runs fully dense (every iteration combines), which is the right oracle
+for structurally dense data.
 """
 
 from __future__ import annotations
@@ -12,7 +27,17 @@ import itertools
 
 import numpy as np
 
-from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Num, Program, Ref, Scalar
+from repro.compiler.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    MinMax,
+    Neg,
+    Num,
+    Program,
+    Ref,
+    Scalar,
+)
 from repro.errors import CompileError
 
 __all__ = ["run_reference"]
@@ -28,6 +53,10 @@ def _eval(expr: Expr, env: dict[str, int], arrays: dict[str, np.ndarray], scalar
         return float(arrays[expr.array][idx])
     if isinstance(expr, Neg):
         return -_eval(expr.operand, env, arrays, scalars)
+    if isinstance(expr, MinMax):
+        l = _eval(expr.left, env, arrays, scalars)
+        r = _eval(expr.right, env, arrays, scalars)
+        return min(l, r) if expr.fn == "min" else max(l, r)
     if isinstance(expr, BinOp):
         l = _eval(expr.left, env, arrays, scalars)
         r = _eval(expr.right, env, arrays, scalars)
@@ -41,18 +70,33 @@ def _eval(expr: Expr, env: dict[str, int], arrays: dict[str, np.ndarray], scalar
     raise CompileError(f"cannot evaluate {expr!r}")
 
 
+def _combine(op: str, old: float, val: float) -> float:
+    if op == "+":
+        return old + val
+    if op == "*":
+        return old * val
+    if op == "min":
+        return min(old, val)
+    return max(old, val)
+
+
 def run_reference(
     program: Program,
     arrays: dict[str, np.ndarray],
     scalars: dict[str, float] | None = None,
+    sparse: frozenset[str] | set[str] | tuple = (),
 ) -> dict[str, np.ndarray]:
     """Execute the program densely; returns the (mutated) arrays dict.
 
     ``arrays`` maps array names to dense numpy arrays (copies are made, so
     inputs are untouched); ``scalars`` supplies free scalar values and any
-    symbolic loop bounds not inferable from array extents.
+    symbolic loop bounds not inferable from array extents.  ``sparse``
+    names arrays treated as guarded sparse operands: for non-``+``
+    reductions, iterations where a listed array reads ``0.0`` are skipped
+    (see the module docstring).
     """
     scalars = dict(scalars or {})
+    sparse = frozenset(sparse)
     arrays = {k: np.array(v, dtype=np.float64) for k, v in arrays.items()}
 
     # resolve loop bounds from scalars or array extents
@@ -80,12 +124,24 @@ def run_reference(
     for stmt in program.body:
         if not stmt.reduce:
             arrays[stmt.target.array][...] = 0.0
+        guarded = (
+            [r for r in stmt.expr.refs() if r.array in sparse]
+            if stmt.reduce and stmt.op != "+"
+            else []
+        )
         for point in itertools.product(*ranges):
             env = dict(zip(names, point))
+            if any(
+                arrays[r.array][tuple(env[v] for v in r.indices)] == 0.0
+                for r in guarded
+            ):
+                continue
             idx = tuple(env[v] for v in stmt.target.indices)
             val = _eval(stmt.expr, env, arrays, scalars)
             if stmt.reduce:
-                arrays[stmt.target.array][idx] += val
+                arrays[stmt.target.array][idx] = _combine(
+                    stmt.op, float(arrays[stmt.target.array][idx]), val
+                )
             else:
                 arrays[stmt.target.array][idx] += val  # zero-filled above
     return arrays

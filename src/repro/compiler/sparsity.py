@@ -18,7 +18,7 @@ independent conjunctive queries.
 
 from __future__ import annotations
 
-from repro.compiler.ast_nodes import Assign, BinOp, Expr, Neg, Num, Ref, Scalar
+from repro.compiler.ast_nodes import Assign, BinOp, Expr, MinMax, Neg, Num, Ref, Scalar
 from repro.errors import SparsityError
 from repro.observability.trace import span
 from repro.relational.predicates import NZ, Predicate, TruePred, FalsePred, conj, disj
@@ -44,6 +44,12 @@ def sparsity_predicate(expr: Expr, sparse: frozenset[str] | set[str]) -> Predica
         return TruePred()
     if isinstance(expr, Neg):
         return sparsity_predicate(expr.operand, sparse)
+    if isinstance(expr, MinMax):
+        # min/max may be nonzero whenever either operand may be
+        return disj(
+            sparsity_predicate(expr.left, sparse),
+            sparsity_predicate(expr.right, sparse),
+        )
     if isinstance(expr, BinOp):
         if expr.op == "*":
             return conj(
@@ -124,6 +130,11 @@ def split_statement(stmt: Assign) -> list[Assign]:
     top-level sums are returned unchanged.
     """
     with span("compiler.split_statement", statement=repr(stmt)) as sp:
+        if stmt.reduce and stmt.op != "+":
+            # a non-additive reduction combines whole RHS values; splitting
+            # `Y *= a + b` into two statements would change its meaning
+            sp.set(pieces=1)
+            return [stmt]
         terms = _additive_terms(distribute(stmt.expr), negate=False)
         if len(terms) == 1:
             sp.set(pieces=1)

@@ -231,7 +231,9 @@ class Format:
     def emit_store(self, g: Emitter, prefix: str, axis_vars: Mapping[int, str], pos: str, value_expr: str) -> None:
         raise FormatError(f"{type(self).__name__} is not writable")
 
-    def emit_accumulate(self, g: Emitter, prefix: str, axis_vars: Mapping[int, str], pos: str, value_expr: str) -> None:
+    def emit_accumulate(self, g: Emitter, prefix: str, axis_vars: Mapping[int, str], pos: str, value_expr: str, op: str = "+") -> None:
+        """Combine ``value_expr`` into the target element with ``op``
+        (one of :data:`~repro.compiler.ast_nodes.REDUCTION_OPS`)."""
         raise FormatError(f"{type(self).__name__} is not writable")
 
     def segmented_view(self, prefix: str):

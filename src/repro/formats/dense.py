@@ -19,6 +19,18 @@ from repro.formats.base import AccessLevel, Emitter, Format, check_shape
 __all__ = ["DenseAxisLevel", "DenseMatrix", "DenseVector"]
 
 
+def _emit_combine(g: Emitter, target: str, value_expr: str, op: str) -> None:
+    """Combine a value into a scalar storage slot with a reduction op."""
+    if op == "+":
+        g.emit(f"{target} += {value_expr}")
+    elif op == "*":
+        g.emit(f"{target} *= {value_expr}")
+    elif op in ("min", "max"):
+        g.emit(f"{target} = {op}({target}, {value_expr})")
+    else:
+        raise FormatError(f"unknown reduction operator {op!r}")
+
+
 class DenseAxisLevel(AccessLevel):
     """One dense axis: enumerate 0..extent-1; search is the identity."""
 
@@ -107,8 +119,10 @@ class DenseMatrix(Format):
     def emit_store(self, g, prefix, axis_vars, pos, value_expr):
         g.emit(f"{prefix}_vals[{axis_vars[0]}, {axis_vars[1]}] = {value_expr}")
 
-    def emit_accumulate(self, g, prefix, axis_vars, pos, value_expr):
-        g.emit(f"{prefix}_vals[{axis_vars[0]}, {axis_vars[1]}] += {value_expr}")
+    def emit_accumulate(self, g, prefix, axis_vars, pos, value_expr, op="+"):
+        _emit_combine(
+            g, f"{prefix}_vals[{axis_vars[0]}, {axis_vars[1]}]", value_expr, op
+        )
 
     def inner_vector_view(self, prefix, parent_pos):
         # innermost level is the column axis under a bound row index
@@ -155,8 +169,8 @@ class DenseVector(Format):
     def emit_store(self, g, prefix, axis_vars, pos, value_expr):
         g.emit(f"{prefix}_vals[{axis_vars[0]}] = {value_expr}")
 
-    def emit_accumulate(self, g, prefix, axis_vars, pos, value_expr):
-        g.emit(f"{prefix}_vals[{axis_vars[0]}] += {value_expr}")
+    def emit_accumulate(self, g, prefix, axis_vars, pos, value_expr, op="+"):
+        _emit_combine(g, f"{prefix}_vals[{axis_vars[0]}]", value_expr, op)
 
     def to_dense(self) -> np.ndarray:
         return self.vals

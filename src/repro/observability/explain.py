@@ -63,6 +63,9 @@ def explain(obj, formats=None, verbose: bool = True) -> str:
                 _explain_unit(unit, fmt_names, verbose, header=f"statement [{k}]")
             )
         text = "\n\n".join(parts)
+        cert = _certificate_narration(obj)
+        if cert:
+            text += "\n\n" + cert
         if verbose:
             findings = _kernel_diagnostics(obj)
             if findings:
@@ -76,6 +79,23 @@ def explain(obj, formats=None, verbose: bool = True) -> str:
         f"cannot explain a {type(obj).__name__}; pass a CompiledKernel, "
         "KernelUnit, Plan, or source text with formats"
     )
+
+
+def _certificate_narration(kernel) -> str:
+    """Narrate the parallelism certificate the dependence analyzer
+    attached at compile time (empty when compiled with ``verify="off"``)."""
+    cert = getattr(kernel, "certificate", None)
+    if cert is None:
+        return ""
+    lines = [
+        f"parallelism: {cert.verdict.label()} "
+        f"(certificate {cert.fingerprint}, v{cert.version})"
+    ]
+    for lv in cert.loops:
+        lines.append(f"  loop {lv.var}: {lv.verdict.label()}")
+        for ev in lv.evidence:
+            lines.append(f"    {ev.kind}: {ev.detail}")
+    return "\n".join(lines)
 
 
 def _kernel_diagnostics(kernel) -> str:

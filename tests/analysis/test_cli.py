@@ -141,3 +141,57 @@ def test_structure_flag_json_includes_recommendation(tmp_path):
 def test_structure_flag_missing_file_is_ber001_exit_one(tmp_path, capsys):
     assert main(["--structure", str(tmp_path / "nope.mtx")]) == 1
     assert "BER001" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# --depend: parallelism-lattice classification with certificates
+# ----------------------------------------------------------------------
+def test_depend_classifies_examples_and_exits_zero(capsys):
+    assert main(["--depend", "examples/kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "rowprod.loop: REDUCTION(*)" in out
+    assert "rowmin.loop: REDUCTION(min)" in out
+    assert "colmax.loop: REDUCTION(max)" in out
+    assert "gauss_seidel.loop: SEQUENTIAL" in out
+    assert "spmv.loop: DOANY" in out
+
+
+def test_depend_json_carries_certificate_payload(tmp_path, capsys):
+    art = tmp_path / "certs.json"
+    assert main(["--depend", "examples/kernels/rowprod.loop", "--json", str(art)]) == 0
+    doc = json.loads(art.read_text())
+    certs = doc["certificates"]
+    [cert] = certs.values()
+    assert cert["verdict"] == {"kind": "REDUCTION", "op": "*"}
+    assert cert["version"] == 1 and cert["fingerprint"]
+    j = next(l for l in cert["loops"] if l["var"] == "j")
+    assert j["verdict"]["kind"] == "REDUCTION"
+    assert any(e["kind"] == "commutes" for e in j["evidence"])
+
+
+def test_depend_sequential_witness_is_warn_not_error(tmp_path, capsys):
+    seq = tmp_path / "seq.loop"
+    seq.write_text("for i in 0:n { for j in 0:n { X[i] = X[i] - A[i,j] * X[j] } }")
+    assert main(["--depend", str(seq)]) == 0  # classification, not a gate
+    out = capsys.readouterr().out
+    assert "SEQUENTIAL" in out and "BER062 warn" in out
+
+
+def test_declared_sequential_kernel_keeps_kernels_sweep_green(tmp_path, capsys):
+    k = tmp_path / "gs.loop"
+    k.write_text(
+        "# depend: sequential\n"
+        "for i in 0:n { for j in 0:n { X[i] = X[i] - A[i,j] * X[j] } }\n"
+    )
+    assert main(["--kernels", str(k)]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_stale_sequential_directive_is_an_error(tmp_path, capsys):
+    k = tmp_path / "fine.loop"
+    k.write_text(
+        "# depend: sequential\n"
+        "for i in 0:n { Y[i] += X[i] }\n"
+    )
+    assert main(["--kernels", str(k)]) == 1
+    assert "stale directive" in capsys.readouterr().out

@@ -165,3 +165,54 @@ def test_every_shipped_kernel_source_parses_clean(paper_matrix):
     )
     rep = lint_generated_source(k.source, k.param_names, {"Y", "Z"})
     assert rep.ok, rep.render()
+
+
+# ----------------------------------------------------------------------
+# warm-cache dedupe: linting the same cached kernel twice reports once
+# ----------------------------------------------------------------------
+def test_warm_cache_double_lint_reports_each_finding_once():
+    from repro.analysis.diagnostics import DiagnosticReport
+    from repro.compiler import clear_kernel_cache
+
+    clear_kernel_cache()
+    A = _crs(np.eye(4))
+    f = {"A": A, "X": DenseVector(np.ones(4)), "Y": DenseVector.zeros(4)}
+    # composite denominator: the vectorizer declines, fallback:scalar
+    # yields a deterministic BER031 warning
+    src = "for i in 0:n { for j in 0:n { Y[i] += A[i,j] / (X[i] * X[i]) } }"
+    k1 = compile_kernel(src, f)
+    k2 = compile_kernel(src, f)  # warm PlanCache: the same kernel object
+    assert k1 is k2
+
+    once = lint_kernel(k1, f, where="warm")
+    assert [d.code for d in once.warnings()] == ["BER031"]
+
+    merged = DiagnosticReport()
+    lint_kernel(k1, f, where="warm", into=merged)
+    lint_kernel(k2, f, where="warm", into=merged)
+    assert len(merged) == len(once), merged.render()
+    assert [d.code for d in merged.warnings()] == ["BER031"]
+
+
+def test_dedupe_keeps_distinct_findings_and_order():
+    from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+
+    a = Diagnostic("BER032", "error", "name 'g0' is unbound", location="l1")
+    b = Diagnostic("BER032", "error", "name 'g1' is unbound", location="l1")
+    rep = DiagnosticReport([a, b, a, b, a])
+    rep.dedupe()
+    assert [d.message for d in rep] == [a.message, b.message]
+
+
+def test_unbound_name_not_doubled_across_repeated_lint():
+    # the same doctored source linted twice into one report: the
+    # identical BER032 must appear exactly once
+    from repro.analysis.diagnostics import DiagnosticReport
+
+    src = "def kernel(A_vals, Y_vals, n):\n    Y_vals[0] = ghost\n"
+    rep = DiagnosticReport()
+    rep.extend(lint_generated_source(src, ["A_vals", "Y_vals", "n"], {"Y"}))
+    rep.extend(lint_generated_source(src, ["A_vals", "Y_vals", "n"], {"Y"}))
+    assert len(rep) == 2  # duplicated before dedupe
+    rep.dedupe()
+    assert [d.code for d in rep] == ["BER032"]

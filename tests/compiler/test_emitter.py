@@ -85,7 +85,9 @@ def test_unexpected_token_error_renders_caret_line():
 
 
 def test_target_read_rejection_points_at_the_read():
-    src = "for i in 0:n { Y[i] = Y[i] * X[i] }"
+    # division is not an associative/commutative combine operator, so the
+    # self-read cannot be normalized into a reduction and must be rejected
+    src = "for i in 0:n { Y[i] = Y[i] / X[i] }"
     with pytest.raises(ParseError) as e:
         parse(src)
     err = e.value

@@ -97,8 +97,9 @@ def test_parse_requires_for():
 
 
 def test_parse_bad_assign_op():
+    # '/=' is not a statement operator (division is not a reduction)
     with pytest.raises(ParseError):
-        parse("for i in 0:n { Y[i] *= X[i] }")
+        parse("for i in 0:n { Y[i] /= X[i] }")
 
 
 def test_normalize_self_addition_to_reduce():
@@ -109,8 +110,26 @@ def test_normalize_self_addition_to_reduce():
 
 
 def test_normalize_rejects_self_read_assignment():
+    # a self-read under a non-associative operator cannot be normalized
     with pytest.raises(ParseError):
-        parse("for i in 0:n { Y[i] = Y[i] * 2 }")
+        parse("for i in 0:n { Y[i] = Y[i] / 2 }")
+
+
+def test_normalize_self_product_to_mult_reduce():
+    p = parse("for i in 0:n { Y[i] = Y[i] * 2 }")
+    assert p.body[0].reduce and p.body[0].op == "*"
+
+
+def test_normalize_self_min_to_min_reduce():
+    p = parse("for i in 0:n { for j in 0:n { M[i] = min(M[i], A[i,j]) } }")
+    assert p.body[0].reduce and p.body[0].op == "min"
+    # the self-read is stripped from the normalized RHS
+    assert all(r.array != "M" for r in p.body[0].expr.refs())
+
+
+def test_parse_mult_reduce_statement_op():
+    p = parse("for i in 0:n { for j in 0:n { Y[j] *= A[i,j] } }")
+    assert p.body[0].reduce and p.body[0].op == "*"
 
 
 def test_ref_requires_indices():
